@@ -1,0 +1,178 @@
+package mlec
+
+import (
+	"time"
+
+	"mlec/internal/burst"
+	"mlec/internal/bwmodel"
+	"mlec/internal/failure"
+	"mlec/internal/markov"
+	"mlec/internal/placement"
+	"mlec/internal/poolsim"
+	"mlec/internal/repair"
+	"mlec/internal/splitting"
+	"mlec/internal/throughput"
+)
+
+// BurstPDL estimates the probability of data loss when y disks fail
+// simultaneously scattered across x racks (the paper's Figure 5 cells),
+// by conditional-expectation Monte Carlo over `trials` burst layouts.
+func BurstPDL(topo Topology, params Params, scheme Scheme, x, y, trials int, seed int64) (pdl, lo, hi float64, err error) {
+	l, err := placement.NewLayout(topo, params, scheme)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	r, err := burst.PDL(burst.NewMLECEvaluator(l), x, y, trials, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return r.PDL, r.Lo, r.Hi, nil
+}
+
+// RepairCost summarizes one repair method's cost for a catastrophic
+// local pool failure (pl+1 simultaneous disk failures).
+type RepairCost struct {
+	Method                RepairMethod
+	CrossRackTrafficBytes float64
+	NetworkRepairHours    float64
+	LocalRepairHours      float64
+	TotalHours            float64
+}
+
+// AnalyzeRepair evaluates all four repair methods for the given scheme
+// (Figures 8 and 9).
+func AnalyzeRepair(topo Topology, params Params, scheme Scheme) ([]RepairCost, error) {
+	l, err := placement.NewLayout(topo, params, scheme)
+	if err != nil {
+		return nil, err
+	}
+	an := repair.NewAnalyzer(l)
+	out := make([]RepairCost, 0, len(repair.AllMethods))
+	for _, m := range repair.AllMethods {
+		a := an.AnalyzeBurst(m)
+		out = append(out, RepairCost{
+			Method:                m,
+			CrossRackTrafficBytes: a.CrossRackTrafficBytes,
+			NetworkRepairHours:    a.NetworkRepairHours,
+			LocalRepairHours:      a.LocalRepairHours,
+			TotalHours:            a.TotalHours,
+		})
+	}
+	return out, nil
+}
+
+// RepairBandwidth reports the paper's Table 2 row for one scheme.
+type RepairBandwidth struct {
+	DiskRepairBytes, DiskRepairBW, DiskRepairHours float64
+	PoolRepairBytes, PoolRepairBW, PoolRepairHours float64
+}
+
+// AnalyzeBandwidth evaluates available repair bandwidth and repair time
+// (Table 2 / Figure 6).
+func AnalyzeBandwidth(topo Topology, params Params, scheme Scheme) (RepairBandwidth, error) {
+	l, err := placement.NewLayout(topo, params, scheme)
+	if err != nil {
+		return RepairBandwidth{}, err
+	}
+	m := bwmodel.New(l)
+	return RepairBandwidth{
+		DiskRepairBytes: m.SingleDiskRepairBytes(),
+		DiskRepairBW:    m.SingleDiskRepairBandwidth(),
+		DiskRepairHours: m.SingleDiskRepairHours(),
+		PoolRepairBytes: m.PoolRepairBytes(),
+		PoolRepairBW:    m.PoolRepairBandwidth(),
+		PoolRepairHours: m.PoolRepairHours(),
+	}, nil
+}
+
+// DurabilityOptions tunes the durability estimate.
+type DurabilityOptions struct {
+	// AFR is the annual disk failure rate (default 0.01).
+	AFR float64
+	// UseSimulation selects the event-driven splitting estimator for
+	// stage 1 (slower, captures priority-repair and stripe-coverage
+	// effects); otherwise the Markov R_ALL view is used.
+	UseSimulation bool
+	// Trajectories per splitting level (default 20000).
+	Trajectories int
+	Seed         int64
+}
+
+// DurabilityEstimate is the stage-2 composition result.
+type DurabilityEstimate struct {
+	Method             RepairMethod
+	CatRatePerPoolHour float64
+	WindowHours        float64
+	AnnualPDL          float64
+	Nines              float64
+}
+
+// EstimateDurability computes the annual probability of data loss and
+// durability nines for one scheme under each repair method (Figure 10).
+func EstimateDurability(topo Topology, params Params, scheme Scheme, opts DurabilityOptions) ([]DurabilityEstimate, error) {
+	if opts.AFR <= 0 || opts.AFR >= 1 {
+		opts.AFR = 0.01
+	}
+	l, err := placement.NewLayout(topo, params, scheme)
+	if err != nil {
+		return nil, err
+	}
+	lambda := opts.AFR / 8760
+
+	cfg := poolsim.Config{
+		Disks: l.LocalPoolSize(), Width: params.LocalWidth(), Parity: params.PL,
+		Clustered:           scheme.Local == placement.Clustered,
+		SegmentsPerDisk:     120,
+		DiskCapacityBytes:   topo.DiskCapacityBytes,
+		DiskRepairBW:        topo.DiskRepairBandwidth(),
+		DetectionDelayHours: failure.DefaultDetectionDelayHours,
+	}
+	var s1 splitting.Stage1
+	if opts.UseSimulation {
+		ttf, err := failure.NewExponentialAFR(opts.AFR)
+		if err != nil {
+			return nil, err
+		}
+		n := opts.Trajectories
+		if n <= 0 {
+			n = 20000
+		}
+		res, err := poolsim.Split(cfg, ttf, poolsim.SplitConfig{TrajectoriesPerLevel: n, Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		s1 = splitting.Stage1FromSplit(cfg, res)
+	} else {
+		m := markov.MLECRAllModel{Layout: l, LambdaPerHour: lambda}
+		rate, err := m.CatRatePerPoolHour()
+		if err != nil {
+			return nil, err
+		}
+		s1 = splitting.Stage1FromSplit(cfg, poolsim.SplitResult{CatRatePerPoolHour: rate})
+	}
+
+	out := make([]DurabilityEstimate, 0, len(repair.AllMethods))
+	for _, m := range repair.AllMethods {
+		r, err := splitting.Durability(l, m, s1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DurabilityEstimate{
+			Method:             m,
+			CatRatePerPoolHour: r.CatRatePerPoolHour,
+			WindowHours:        r.WindowHours,
+			AnnualPDL:          r.AnnualPDL,
+			Nines:              r.Nines,
+		})
+	}
+	return out, nil
+}
+
+// EncodingThroughput measures the end-to-end MLEC encoding throughput in
+// bytes of user data per second on one goroutine (Figure 11/12 axis).
+func EncodingThroughput(params Params, budget time.Duration) (float64, error) {
+	if budget <= 0 {
+		budget = 25 * time.Millisecond
+	}
+	return throughput.MeasureMLEC(params, throughput.DefaultShardBytes, budget)
+}

@@ -1,0 +1,70 @@
+// Command mlecsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mlecsim list                 # show available experiment ids
+//	mlecsim [flags] <id>...      # run experiments (e.g. fig5 tab2)
+//	mlecsim [flags] all          # run every experiment
+//
+// Flags:
+//
+//	-quick        reduced grids/trials (seconds instead of minutes)
+//	-seed N       RNG seed (default 1)
+//	-afr F        annual disk failure rate (default 0.01)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mlec"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced grids/trials")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	afr := flag.Float64("afr", 0.01, "annual disk failure rate")
+	csv := flag.Bool("csv", false, "emit CSV instead of ASCII heatmaps (fig5/fig13/fig16)")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, id := range mlec.Experiments() {
+			fmt.Printf("  %-8s %s\n", id, mlec.DescribeExperiment(id))
+		}
+		return
+	}
+	ids := args
+	if args[0] == "all" {
+		ids = mlec.Experiments()
+	}
+	opts := mlec.ExperimentOptions{Quick: *quick, Seed: *seed, AFR: *afr, CSV: *csv}
+	for _, id := range ids {
+		start := time.Now()
+		if err := mlec.RunExperiment(id, opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mlecsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `mlecsim — regenerate the MLEC paper's tables and figures
+
+usage:
+  mlecsim list                 show available experiment ids
+  mlecsim [flags] <id>...      run experiments (e.g. fig5 tab2)
+  mlecsim [flags] all          run everything
+
+flags:
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,155 @@
+// Command mlectrace generates, inspects, and replays disk-failure traces
+// — the "real traces" input mode of the paper's simulator (§3).
+//
+// Usage:
+//
+//	mlectrace gen -disks 120 -years 5 -afr 0.02 > pool.trace
+//	mlectrace stats < pool.trace
+//	mlectrace replay -disks 120 -kl 17 -pl 3 -dp < pool.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlec/internal/failure"
+	"mlec/internal/poolsim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "gen":
+		err = cmdGen(args)
+	case "stats":
+		err = cmdStats(args)
+	case "replay":
+		err = cmdReplay(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlectrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `mlectrace — disk-failure trace tooling
+
+usage:
+  mlectrace gen -disks N -years Y [-afr F] [-weibull-shape K] [-seed S]   write a trace to stdout
+  mlectrace stats                                                          summarize a trace from stdin
+  mlectrace replay -disks N [-kl K -pl P] [-dp] [-seed S]                  replay a trace through a pool simulation`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	disks := fs.Int("disks", 120, "number of disks")
+	years := fs.Float64("years", 5, "trace length in years")
+	afr := fs.Float64("afr", 0.01, "annual failure rate (exponential)")
+	shape := fs.Float64("weibull-shape", 0, "use Weibull TTF with this shape instead of exponential")
+	scale := fs.Float64("weibull-scale", 8760*50, "Weibull scale in hours")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ttf failure.TTFDistribution
+	if *shape > 0 {
+		ttf = failure.Weibull{Shape: *shape, ScaleHours: *scale}
+	} else {
+		d, err := failure.NewExponentialAFR(*afr)
+		if err != nil {
+			return err
+		}
+		ttf = d
+	}
+	tr := failure.GenerateTrace(*disks, *years, ttf, *seed)
+	fmt.Printf("# mlectrace: disks=%d years=%g events=%d\n", *disks, *years, len(tr.Events))
+	_, err := tr.WriteTo(os.Stdout)
+	return err
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := failure.ParseTrace(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(tr.Events) == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+	maxDisk, last := 0, 0.0
+	perDisk := map[int]int{}
+	for _, e := range tr.Events {
+		if e.Disk > maxDisk {
+			maxDisk = e.Disk
+		}
+		if e.TimeHours > last {
+			last = e.TimeHours
+		}
+		perDisk[e.Disk]++
+	}
+	repeat := 0
+	for _, c := range perDisk {
+		if c > 1 {
+			repeat++
+		}
+	}
+	span := last / failure.HoursPerYear
+	fmt.Printf("events:            %d\n", len(tr.Events))
+	fmt.Printf("distinct disks:    %d (max id %d)\n", len(perDisk), maxDisk)
+	fmt.Printf("disks failing >1×: %d\n", repeat)
+	fmt.Printf("span:              %.2f years\n", span)
+	if span > 0 {
+		fmt.Printf("implied AFR:       %.2f%% (assuming %d disks)\n",
+			100*float64(len(tr.Events))/(float64(maxDisk+1)*span), maxDisk+1)
+	}
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	disks := fs.Int("disks", 120, "pool size")
+	kl := fs.Int("kl", 17, "local data chunks")
+	pl := fs.Int("pl", 3, "local parity chunks")
+	dp := fs.Bool("dp", true, "declustered pool (false: clustered, disks must equal kl+pl)")
+	segments := fs.Int("segments", 120, "simulated chunks per disk")
+	seed := fs.Int64("seed", 1, "layout seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := failure.ParseTrace(os.Stdin)
+	if err != nil {
+		return err
+	}
+	cfg := poolsim.Config{
+		Disks: *disks, Width: *kl + *pl, Parity: *pl, Clustered: !*dp,
+		SegmentsPerDisk:   *segments,
+		DiskCapacityBytes: 20e12, DiskRepairBW: 40e6,
+		DetectionDelayHours: failure.DefaultDetectionDelayHours,
+	}
+	stats, err := poolsim.ReplayTrace(cfg, tr, 0, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %.2f pool-years: %d failures applied, %d catastrophic pool events\n",
+		stats.SimYears, stats.DiskFailures, stats.CatastrophicCount)
+	for i, smp := range stats.Samples {
+		fmt.Printf("  catastrophe %d at %.1f h: %d failed disks, %d lost stripes\n",
+			i+1, smp.TimeHours, smp.FailedDisks, smp.LostStripes)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package mlec_test
+
+import (
+	"fmt"
+	"log"
+
+	"mlec"
+)
+
+// Example shows the end-to-end lifecycle: build a small MLEC system,
+// store an object, lose a whole local pool, and repair it with the
+// minimum-traffic method.
+func Example() {
+	topo := mlec.DefaultTopology()
+	topo.Racks = 6
+	topo.EnclosuresPerRack = 2
+	topo.DisksPerEnclosure = 12
+
+	sys, err := mlec.NewSystem(mlec.Config{
+		Topology:   topo,
+		Params:     mlec.Params{KN: 2, PN: 1, KL: 4, PL: 2},
+		Scheme:     mlec.SchemeCD,
+		ChunkBytes: 1024,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload := make([]byte, 3000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := sys.Write("object", payload); err != nil {
+		log.Fatal(err)
+	}
+
+	// A catastrophic local pool failure: more chunks lost than the
+	// local (4+2) code tolerates.
+	for d := 0; len(sys.CatastrophicPools()) == 0; d++ {
+		sys.FailDisk(mlec.DiskID{Rack: 0, Enclosure: 0, Disk: d})
+	}
+	if err := sys.Repair(mlec.RepairMinimum); err != nil {
+		log.Fatal(err)
+	}
+	back, err := sys.Read("object")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("intact:", len(back) == len(payload))
+	// Output: intact: true
+}
+
+// ExampleAnalyzeRepair reproduces the paper's Figure 8 numbers for the
+// C/D scheme at full datacenter scale.
+func ExampleAnalyzeRepair() {
+	costs, err := mlec.AnalyzeRepair(mlec.DefaultTopology(), mlec.DefaultParams(), mlec.SchemeCD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range costs {
+		fmt.Printf("%v: %.0f TB cross-rack\n", c.Method, c.CrossRackTrafficBytes/1e12)
+	}
+	// Output:
+	// R_ALL: 26400 TB cross-rack
+	// R_FCO: 880 TB cross-rack
+	// R_HYB: 3 TB cross-rack
+	// R_MIN: 1 TB cross-rack
+}
+
+// ExampleBurstPDL evaluates a correlated failure burst: 60 simultaneous
+// disk failures confined to pn = 2 racks are always survivable.
+func ExampleBurstPDL() {
+	pdl, _, _, err := mlec.BurstPDL(mlec.DefaultTopology(), mlec.DefaultParams(),
+		mlec.SchemeDD, 2, 60, 200, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PDL(60 failures in 2 racks) = %g\n", pdl)
+	// Output: PDL(60 failures in 2 racks) = 0
+}

@@ -1,0 +1,64 @@
+// Full system: simulate the paper's entire 57,600-disk datacenter for
+// decades under each MLEC scheme, watching the fleet absorb disk
+// failures, and then crank the failure rate up until the schemes'
+// durability differences become directly observable — the live version of
+// the paper's large-scale simulation study.
+//
+//	go run ./examples/full_system
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlec"
+)
+
+func main() {
+	topo := mlec.DefaultTopology()
+	params := mlec.DefaultParams()
+
+	fmt.Printf("paper datacenter: %d disks, %v MLEC, R_MIN repair, 1%% AFR\n\n",
+		topo.TotalDisks(), params)
+	fmt.Printf("%-6s  %-14s  %-18s  %-10s  %s\n",
+		"scheme", "disk failures", "catastrophic pools", "data loss", "network repair (TB)")
+	for _, s := range mlec.AllSchemes {
+		stats, err := mlec.Simulate(mlec.SimulationConfig{
+			Topology: topo, Params: params, Scheme: s, Method: mlec.RepairMinimum,
+		}, 25, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6v  %-14d  %-18d  %-10d  %.3g\n",
+			s, stats.DiskFailures, stats.CatastrophicEvents,
+			stats.DataLossEvents, stats.CrossRackRepairBytes/1e12)
+	}
+
+	// At 1% AFR nothing catastrophic happens for decades — that is the
+	// design working. To see the schemes separate, stress a smaller,
+	// hotter system (the "accelerated life test" style of analysis).
+	hot := topo
+	hot.Racks = 6
+	hot.EnclosuresPerRack = 1
+	hot.DisksPerEnclosure = 12
+	hot.DiskBandwidth = 10e6
+	hotParams := mlec.Params{KN: 2, PN: 1, KL: 4, PL: 2}
+	fmt.Printf("\naccelerated test: %d disks at 50%% AFR, 2000 years, R_ALL vs R_FCO\n",
+		hot.TotalDisks())
+	fmt.Printf("%-6s  %-8s  %-18s  %s\n", "scheme", "method", "catastrophic pools", "data-loss events")
+	for _, s := range []mlec.Scheme{mlec.SchemeCC, mlec.SchemeDD} {
+		for _, m := range []mlec.RepairMethod{mlec.RepairAll, mlec.RepairFailedOnly} {
+			stats, err := mlec.Simulate(mlec.SimulationConfig{
+				Topology: hot, Params: hotParams, Scheme: s, Method: m,
+				AFR: 0.5, SegmentsPerDisk: 24,
+			}, 2000, 3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6v  %-8v  %-18d  %d\n", s, m, stats.CatastrophicEvents, stats.DataLossEvents)
+		}
+	}
+	fmt.Println("\nnote how chunk-aware repair (R_FCO) avoids loss episodes that")
+	fmt.Println("R_ALL's pool-is-lost view cannot (§4.2.3 Finding #1), and how the")
+	fmt.Println("declustered D/D scheme turns more bursts into catastrophic pools.")
+}

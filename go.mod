@@ -1,0 +1,3 @@
+module mlec
+
+go 1.22

@@ -1,0 +1,44 @@
+package burst
+
+import (
+	"math"
+
+	"mlec/internal/placement"
+)
+
+// LossGivenAlignedCatPools returns P(data loss | the given catastrophic
+// pools all belong to ONE network pool of a network-clustered scheme),
+// where phis[i] is the fraction of pool i's local stripes that are lost.
+// Each network stripe of the pool holds one independently-placed local
+// stripe per member, so loss requires ≥ pn+1 of its members to be lost
+// simultaneously.
+//
+// Used by the stage-2 splitting estimator: the probability that a
+// (pn+1)-overlap of catastrophic pools actually loses a network stripe —
+// 1 for R_ALL-style whole-pool loss (φ=1), the paper's "as low as 0.03%"
+// correction when the repairer knows the exact lost chunks (§4.2.3 F#1).
+func LossGivenAlignedCatPools(l *placement.Layout, phis []float64) float64 {
+	if len(phis) <= l.Params.PN {
+		return 0
+	}
+	pLoss := poissonBinomialTail(phis, l.Params.PN+1)
+	expected := l.LocalStripesPerPool() * pLoss
+	return -math.Expm1(-expected)
+}
+
+// LossGivenScatteredCatPools returns P(data loss | the given catastrophic
+// pools sit in DISTINCT racks of a network-declustered scheme), with
+// phis[i] the lost-stripe fraction of pool i.
+func LossGivenScatteredCatPools(l *placement.Layout, phis []float64) float64 {
+	if len(phis) <= l.Params.PN {
+		return 0
+	}
+	ppr := float64(l.LocalPoolsPerRack())
+	psis := make([]float64, len(phis))
+	for i, phi := range phis {
+		psis[i] = phi / ppr
+	}
+	pLoss := sampledRackLossTail(psis, l.Topo.Racks, l.Params.NetworkWidth(), l.Params.PN+1)
+	expected := l.TotalNetworkStripes() * pLoss
+	return -math.Expm1(-expected)
+}

@@ -1,0 +1,116 @@
+package burst
+
+import (
+	"math"
+
+	"mlec/internal/mathx"
+	"mlec/internal/placement"
+)
+
+// SLECEvaluator computes conditional burst PDL for the four single-level
+// placements of Figure 13.
+type SLECEvaluator struct {
+	Layout *placement.SLECLayout
+}
+
+// NewSLECEvaluator returns an evaluator over the layout.
+func NewSLECEvaluator(l *placement.SLECLayout) *SLECEvaluator { return &SLECEvaluator{Layout: l} }
+
+// TotalRacks implements Evaluator.
+func (e *SLECEvaluator) TotalRacks() int { return e.Layout.Topo.Racks }
+
+// DisksPerRack implements Evaluator.
+func (e *SLECEvaluator) DisksPerRack() int { return e.Layout.Topo.DisksPerRack() }
+
+// ConditionalPDL implements Evaluator.
+func (e *SLECEvaluator) ConditionalPDL(b *BurstLayout) float64 {
+	switch e.Layout.Placement {
+	case placement.LocalCp:
+		return e.localCp(b)
+	case placement.LocalDp:
+		return e.localDp(b)
+	case placement.NetworkCp:
+		return e.networkCp(b)
+	default:
+		return e.networkDp(b)
+	}
+}
+
+// localCp: pools of k+p disks inside enclosures; every stripe spans its
+// whole pool, so loss is certain iff some pool has ≥ p+1 failures.
+func (e *SLECEvaluator) localCp(b *BurstLayout) float64 {
+	l := e.Layout
+	w := l.Params.Width()
+	dpr := l.Topo.DisksPerRack()
+	fails := make(map[int]int)
+	for i, rack := range b.Racks {
+		for _, d := range b.FailedDisks[i] {
+			pool := (rack*dpr + d) / w // enclosure size divisible by w
+			if fails[pool]++; fails[pool] > l.Params.P {
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// localDp: one declustered pool per enclosure; a pool with f failures
+// loses a given stripe with the hypergeometric tail probability.
+func (e *SLECEvaluator) localDp(b *BurstLayout) float64 {
+	l := e.Layout
+	d := l.Topo.DisksPerEnclosure
+	dpr := l.Topo.DisksPerRack()
+	fails := make(map[int]int)
+	for i, rack := range b.Racks {
+		for _, dd := range b.FailedDisks[i] {
+			fails[(rack*dpr+dd)/d]++
+		}
+	}
+	stripesPerPool := l.StripesPerPool()
+	var expected float64
+	for _, f := range fails {
+		if f > l.Params.P {
+			q := mathx.HypergeomTail(l.Params.P+1, f, d, l.Params.Width())
+			expected += stripesPerPool * q
+		}
+	}
+	return -math.Expm1(-expected)
+}
+
+// networkCp: racks are grouped by k+p; a stripe places one chunk on a
+// uniformly random disk of each rack of its group.
+func (e *SLECEvaluator) networkCp(b *BurstLayout) float64 {
+	l := e.Layout
+	w := l.Params.Width()
+	dpr := float64(l.Topo.DisksPerRack())
+	// Failure probability of a stripe's chunk per rack.
+	probsByGroup := make(map[int][]float64)
+	for i, rack := range b.Racks {
+		g := rack / w
+		probsByGroup[g] = append(probsByGroup[g], float64(len(b.FailedDisks[i]))/dpr)
+	}
+	stripesPerGroup := l.StripesPerPool() // one pool per group
+	var expected float64
+	for _, probs := range probsByGroup {
+		if len(probs) <= l.Params.P {
+			continue // too few affected racks in this group
+		}
+		pLoss := poissonBinomialTail(probs, l.Params.P+1)
+		expected += stripesPerGroup * pLoss
+	}
+	return -math.Expm1(-expected)
+}
+
+// networkDp: a stripe samples k+p distinct racks from the whole system
+// and one uniformly random disk within each.
+func (e *SLECEvaluator) networkDp(b *BurstLayout) float64 {
+	l := e.Layout
+	dpr := float64(l.Topo.DisksPerRack())
+	psis := make([]float64, len(b.Racks))
+	for i := range b.Racks {
+		psis[i] = float64(len(b.FailedDisks[i])) / dpr
+	}
+	pLoss := sampledRackLossTail(psis, l.Topo.Racks, l.Params.Width(), l.Params.P+1)
+	expected := l.TotalStripes() * pLoss
+	return -math.Expm1(-expected)
+}

@@ -1,0 +1,145 @@
+// Package bwmodel is the analytic available-repair-bandwidth and
+// repair-time model behind the paper's Table 2 and Figure 6.
+//
+// The model follows Section 4.1.2: repair throughput is bounded by
+// whichever resource saturates first — participating disks' repair I/O or
+// participating racks' cross-rack repair bandwidth — where every repaired
+// byte costs k reads plus 1 write on the binding resource.
+//
+// With the paper's defaults (disk repair bw d = 40 MB/s, rack repair bw
+// r = 250 MB/s):
+//
+//	single-disk, local-Cp:  spare-disk write bound        → d = 40 MB/s
+//	single-disk, local-Dp:  (D−1)·d spread over kl+1 I/Os → 119·40/18 ≈ 264 MB/s
+//	pool, network-Cp (R_ALL): rebuilt rack ingress        → r = 250 MB/s
+//	pool, network-Dp (R_ALL): all racks, kn+1 crossings   → 60·250/11 ≈ 1363 MB/s
+package bwmodel
+
+import (
+	"fmt"
+
+	"mlec/internal/placement"
+	"mlec/internal/topology"
+)
+
+// Model evaluates repair bandwidth and repair time for an MLEC layout.
+type Model struct {
+	Layout *placement.Layout
+}
+
+// New returns a model over the given layout.
+func New(l *placement.Layout) *Model { return &Model{Layout: l} }
+
+// SingleDiskRepairBandwidth returns the available repair bandwidth
+// (bytes/s of reconstructed data) when repairing one failed disk locally.
+func (m *Model) SingleDiskRepairBandwidth() float64 {
+	topo := m.Layout.Topo
+	d := topo.DiskRepairBandwidth()
+	if m.Layout.Scheme.Local == placement.Clustered {
+		// Reads come from kl surviving disks, writes go to one spare:
+		// the spare's write bandwidth binds (reads deliver kl·d/kl = d
+		// too — the pipeline is balanced at d).
+		return d
+	}
+	// Declustered: all surviving pool disks both read and write spare
+	// space. Aggregate repair I/O = (D−1)·d; each repaired byte consumes
+	// kl reads + 1 write.
+	surv := float64(m.Layout.LocalPoolSize() - 1)
+	return surv * d / float64(m.Layout.Params.KL+1)
+}
+
+// SingleDiskRepairBytes returns the data volume of a single-disk repair.
+func (m *Model) SingleDiskRepairBytes() float64 {
+	return m.Layout.Topo.DiskCapacityBytes
+}
+
+// PoolRepairBandwidth returns the available repair bandwidth (bytes/s of
+// reconstructed data) for rebuilding a catastrophic local pool over the
+// network, as R_ALL does.
+func (m *Model) PoolRepairBandwidth() float64 {
+	topo := m.Layout.Topo
+	r := topo.RackRepairBandwidth()
+	if m.Layout.Scheme.Network == placement.Clustered {
+		// All rebuilt data funnels into the single rack that hosts the
+		// replacement pool: its cross-rack ingress binds.
+		return r
+	}
+	// Declustered: rebuilt data spreads to spare space across all racks
+	// and reads come from everywhere. Each repaired byte crosses racks
+	// kn+1 times (kn reads + 1 write); all racks' repair bandwidth
+	// participates.
+	racks := float64(topo.Racks)
+	return racks * r / float64(m.Layout.Params.KN+1)
+}
+
+// PoolRepairBytes returns the data volume R_ALL must reconstruct: the
+// whole local pool.
+func (m *Model) PoolRepairBytes() float64 { return m.Layout.LocalPoolDataBytes() }
+
+// SingleDiskRepairHours returns the single-disk rebuild time in hours.
+func (m *Model) SingleDiskRepairHours() float64 {
+	return m.SingleDiskRepairBytes() / m.SingleDiskRepairBandwidth() / 3600
+}
+
+// PoolRepairHours returns the catastrophic-pool (R_ALL) rebuild time in
+// hours.
+func (m *Model) PoolRepairHours() float64 {
+	return m.PoolRepairBytes() / m.PoolRepairBandwidth() / 3600
+}
+
+// Row is one line of Table 2.
+type Row struct {
+	Scheme placement.Scheme
+
+	DiskRepairBytes float64 // single-disk repair size
+	DiskRepairBW    float64 // bytes/s
+	DiskRepairHours float64
+
+	PoolRepairBytes float64 // catastrophic local pool repair size
+	PoolRepairBW    float64 // bytes/s
+	PoolRepairHours float64
+}
+
+// Table2 evaluates all four MLEC schemes under the given topology and
+// parameters, reproducing Table 2 and both panels of Figure 6.
+func Table2(topo topology.Config, params placement.Params) ([]Row, error) {
+	rows := make([]Row, 0, len(placement.AllSchemes))
+	for _, s := range placement.AllSchemes {
+		l, err := placement.NewLayout(topo, params, s)
+		if err != nil {
+			return nil, fmt.Errorf("bwmodel: %v: %w", s, err)
+		}
+		m := New(l)
+		rows = append(rows, Row{
+			Scheme:          s,
+			DiskRepairBytes: m.SingleDiskRepairBytes(),
+			DiskRepairBW:    m.SingleDiskRepairBandwidth(),
+			DiskRepairHours: m.SingleDiskRepairHours(),
+			PoolRepairBytes: m.PoolRepairBytes(),
+			PoolRepairBW:    m.PoolRepairBandwidth(),
+			PoolRepairHours: m.PoolRepairHours(),
+		})
+	}
+	return rows, nil
+}
+
+// DegradedPoolRepairBandwidth returns the local repair bandwidth of a
+// local pool that currently has `failed` failed disks — used by the
+// hybrid repair methods that finish a catastrophic pool's repair locally.
+func (m *Model) DegradedPoolRepairBandwidth(failed int) float64 {
+	topo := m.Layout.Topo
+	d := topo.DiskRepairBandwidth()
+	if m.Layout.Scheme.Local == placement.Clustered {
+		// Rebuilding `failed` disks onto `failed` spares in parallel;
+		// the spares' aggregate write bandwidth binds.
+		if failed < 1 {
+			failed = 1
+		}
+		return float64(failed) * d
+	}
+	surv := float64(m.Layout.LocalPoolSize() - failed)
+	if surv < float64(m.Layout.Params.KL) {
+		surv = float64(m.Layout.Params.KL)
+	}
+	return surv * d / float64(m.Layout.Params.KL+1)
+}

@@ -1,0 +1,176 @@
+package bwmodel
+
+import (
+	"math"
+	"testing"
+
+	"mlec/internal/placement"
+	"mlec/internal/topology"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b)) }
+
+// TestTable2MatchesPaper verifies the model reproduces the paper's Table 2
+// exactly (disk sizes and bandwidths in the stated units).
+func TestTable2MatchesPaper(t *testing.T) {
+	rows, err := Table2(topology.Default(), placement.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		scheme     placement.Scheme
+		diskTB     float64
+		diskBWMBs  float64
+		poolTB     float64
+		poolBWMBs  float64
+		bwTolerant float64
+	}{
+		{placement.SchemeCC, 20, 40, 400, 250, 0.01},
+		{placement.SchemeCD, 20, 264, 2400, 250, 0.01},
+		{placement.SchemeDC, 20, 40, 400, 1363, 0.01},
+		{placement.SchemeDD, 20, 264, 2400, 1363, 0.01},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Scheme != w.scheme {
+			t.Fatalf("row %d scheme %v, want %v", i, r.Scheme, w.scheme)
+		}
+		if got := r.DiskRepairBytes / 1e12; got != w.diskTB {
+			t.Errorf("%v disk size %g TB, want %g", w.scheme, got, w.diskTB)
+		}
+		if got := r.DiskRepairBW / 1e6; !approx(got, w.diskBWMBs, w.bwTolerant) {
+			t.Errorf("%v disk BW %.1f MB/s, want %g", w.scheme, got, w.diskBWMBs)
+		}
+		if got := r.PoolRepairBytes / 1e12; got != w.poolTB {
+			t.Errorf("%v pool size %g TB, want %g", w.scheme, got, w.poolTB)
+		}
+		if got := r.PoolRepairBW / 1e6; !approx(got, w.poolBWMBs, w.bwTolerant) {
+			t.Errorf("%v pool BW %.1f MB/s, want %g", w.scheme, got, w.poolBWMBs)
+		}
+	}
+}
+
+// TestFigure6Findings encodes the four findings of §4.1.2.
+func TestFigure6Findings(t *testing.T) {
+	rows, err := Table2(topology.Default(), placement.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[placement.Scheme]Row{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	cc, cd := byScheme[placement.SchemeCC], byScheme[placement.SchemeCD]
+	dc, dd := byScheme[placement.SchemeDC], byScheme[placement.SchemeDD]
+
+	// F#1: local-Dp single-disk repair ≈ 6× faster than local-Cp.
+	ratio := cc.DiskRepairHours / cd.DiskRepairHours
+	if ratio < 5.5 || ratio > 7.5 {
+		t.Errorf("F#1: Cp/Dp single-disk time ratio = %.2f, want ≈ 6.6", ratio)
+	}
+	if dc.DiskRepairHours != cc.DiskRepairHours || dd.DiskRepairHours != cd.DiskRepairHours {
+		t.Error("F#1: single-disk repair must depend only on the local level")
+	}
+
+	// F#2: C/D takes the longest for a catastrophic local failure.
+	for _, r := range []Row{cc, dc, dd} {
+		if cd.PoolRepairHours <= r.PoolRepairHours {
+			t.Errorf("F#2: C/D pool repair (%.0f h) not the longest vs %v (%.0f h)",
+				cd.PoolRepairHours, r.Scheme, r.PoolRepairHours)
+		}
+	}
+
+	// F#3: D/C is the fastest, ≈5× the C/C rate.
+	for _, r := range []Row{cc, cd, dd} {
+		if dc.PoolRepairHours >= r.PoolRepairHours {
+			t.Errorf("F#3: D/C pool repair (%.0f h) not the fastest vs %v (%.0f h)",
+				dc.PoolRepairHours, r.Scheme, r.PoolRepairHours)
+		}
+	}
+	if sp := dc.PoolRepairBW / cc.PoolRepairBW; sp < 4.5 || sp > 6 {
+		t.Errorf("F#3: D/C speedup over C/C = %.2f, want ≈ 5.45", sp)
+	}
+
+	// F#4: D/D faster than C/D, slower than D/C, slightly slower than C/C.
+	if !(dd.PoolRepairHours < cd.PoolRepairHours) {
+		t.Error("F#4: D/D must beat C/D")
+	}
+	if !(dd.PoolRepairHours > dc.PoolRepairHours) {
+		t.Error("F#4: D/D must be slower than D/C")
+	}
+	if !(dd.PoolRepairHours > cc.PoolRepairHours) {
+		t.Error("F#4: D/D must be slightly slower than C/C")
+	}
+	if r := dd.PoolRepairHours / cc.PoolRepairHours; r > 1.5 {
+		t.Errorf("F#4: D/D vs C/C ratio %.2f should be 'slight'", r)
+	}
+}
+
+func TestRepairHoursAbsolute(t *testing.T) {
+	// Sanity: C/C pool = 400 TB at 250 MB/s ≈ 444 h; C/D = 2400 TB at
+	// 250 MB/s ≈ 2667 h (the paper's ~3K h bar).
+	rows, _ := Table2(topology.Default(), placement.DefaultParams())
+	byScheme := map[placement.Scheme]Row{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	if h := byScheme[placement.SchemeCC].PoolRepairHours; !approx(h, 444.4, 0.01) {
+		t.Errorf("C/C pool repair %.1f h, want ≈444", h)
+	}
+	if h := byScheme[placement.SchemeCD].PoolRepairHours; !approx(h, 2666.7, 0.01) {
+		t.Errorf("C/D pool repair %.1f h, want ≈2667", h)
+	}
+	if h := byScheme[placement.SchemeCC].DiskRepairHours; !approx(h, 138.9, 0.01) {
+		t.Errorf("C/C disk repair %.1f h, want ≈139", h)
+	}
+	if h := byScheme[placement.SchemeCD].DiskRepairHours; !approx(h, 21.0, 0.02) {
+		t.Errorf("C/D disk repair %.1f h, want ≈21", h)
+	}
+}
+
+func TestDegradedPoolRepairBandwidth(t *testing.T) {
+	topo := topology.Default()
+	params := placement.DefaultParams()
+
+	lc := New(placement.MustNewLayout(topo, params, placement.SchemeCC))
+	// 3 spares being written in parallel → 3·40 MB/s.
+	if got := lc.DegradedPoolRepairBandwidth(3); got != 120e6 {
+		t.Errorf("Cp degraded bw = %g", got)
+	}
+	if got := lc.DegradedPoolRepairBandwidth(0); got != 40e6 {
+		t.Errorf("Cp degraded bw floor = %g", got)
+	}
+
+	ld := New(placement.MustNewLayout(topo, params, placement.SchemeCD))
+	// 4 failed of 120 → 116 survivors × 40 / 18.
+	want := 116.0 * 40e6 / 18
+	if got := ld.DegradedPoolRepairBandwidth(4); !approx(got, want, 1e-9) {
+		t.Errorf("Dp degraded bw = %g, want %g", got, want)
+	}
+	// Never drops below the kl floor.
+	if got := ld.DegradedPoolRepairBandwidth(119); got < 17*40e6/18 {
+		t.Errorf("Dp degraded bw floor violated: %g", got)
+	}
+}
+
+func TestModelScalesWithTopology(t *testing.T) {
+	// Doubling rack count doubles the network-declustered pool repair
+	// bandwidth but leaves network-clustered untouched.
+	topo := topology.Default()
+	topo2 := topo
+	topo2.Racks = 120
+	p := placement.DefaultParams()
+	bw1 := New(placement.MustNewLayout(topo, p, placement.SchemeDC)).PoolRepairBandwidth()
+	bw2 := New(placement.MustNewLayout(topo2, p, placement.SchemeDC)).PoolRepairBandwidth()
+	if !approx(bw2, 2*bw1, 1e-9) {
+		t.Errorf("D/C bw did not double: %g vs %g", bw1, bw2)
+	}
+	cb1 := New(placement.MustNewLayout(topo, p, placement.SchemeCC)).PoolRepairBandwidth()
+	cb2 := New(placement.MustNewLayout(topo2, p, placement.SchemeCC)).PoolRepairBandwidth()
+	if cb1 != cb2 {
+		t.Errorf("C/C bw changed with rack count: %g vs %g", cb1, cb2)
+	}
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mlec/internal/placement"
+)
+
+// spareDiskFor picks a spare-space target inside the pool for a rebuilt
+// chunk of a declustered stripe: the least-loaded healthy pool disk that
+// doesn't already hold a chunk of the same stripe (§2.1: "the data,
+// parities, and spare space are pseudorandomly spread across all the
+// disks"). Returns -1 when no disk qualifies (caller falls back to
+// replace-in-place).
+func (c *Cluster) spareDiskFor(pool int, stripeDisks []int) int {
+	base := c.poolFirstDisk(pool)
+	size := c.layout.LocalPoolSize()
+	used := make(map[int]bool, len(stripeDisks))
+	for _, d := range stripeDisks {
+		used[d] = true
+	}
+	best, bestLoad := -1, -1
+	for d := base; d < base+size; d++ {
+		if c.disks[d].failed || used[d] {
+			continue
+		}
+		load := len(c.disks[d].chunks)
+		if best == -1 || load < bestLoad {
+			best, bestLoad = d, load
+		}
+	}
+	return best
+}
+
+// writeRebuiltChunk stores a rebuilt chunk. For declustered local
+// placement, a chunk whose home disk lost it is redirected to spare space
+// on the least-loaded surviving pool disk (§2.1), updating the stripe's
+// metadata; clustered placement replaces in place (the spare disk assumes
+// the failed disk's identity). Chunks still present on their home disk
+// (R_ALL rewrites everything) stay put.
+func (c *Cluster) writeRebuiltChunk(key chunkKey, lm localStripeMeta, ci, srcRack int, data []byte) {
+	target := lm.disks[ci]
+	if c.layout.Scheme.Local == placement.Declustered {
+		if _, ok := c.readChunkPeek(key, target); !ok {
+			if spare := c.spareDiskFor(lm.pool, lm.disks); spare >= 0 {
+				lm.disks[ci] = spare // aliases the object's metadata slice
+				target = spare
+			}
+		}
+	}
+	c.writeChunk(key, target, srcRack, data)
+}
+
+// PoolLoad returns the chunk count of every disk in the pool, for
+// rebalance decisions and tests.
+func (c *Cluster) PoolLoad(pool int) []int {
+	base := c.poolFirstDisk(pool)
+	size := c.layout.LocalPoolSize()
+	out := make([]int, size)
+	for i := 0; i < size; i++ {
+		out[i] = len(c.disks[base+i].chunks)
+	}
+	return out
+}
+
+// RebalancePool migrates chunks within a declustered pool until no disk
+// holds more than one chunk above the minimum — the paper's "bring in a
+// new disk and rebalance the data in the background" (§2.1). Moves never
+// violate the one-chunk-per-disk-per-stripe constraint and are metered as
+// local traffic. Returns the number of chunks moved.
+func (c *Cluster) RebalancePool(pool int) (int, error) {
+	if c.layout.Scheme.Local != placement.Declustered {
+		return 0, fmt.Errorf("cluster: rebalance applies to declustered pools")
+	}
+	base := c.poolFirstDisk(pool)
+	size := c.layout.LocalPoolSize()
+	rack := c.layout.RackOfPool(pool)
+	moved := 0
+	for iter := 0; iter < size*size; iter++ {
+		// Find the most- and least-loaded healthy disks.
+		hi, lo := -1, -1
+		for d := base; d < base+size; d++ {
+			if c.disks[d].failed {
+				continue
+			}
+			if hi == -1 || len(c.disks[d].chunks) > len(c.disks[hi].chunks) {
+				hi = d
+			}
+			if lo == -1 || len(c.disks[d].chunks) < len(c.disks[lo].chunks) {
+				lo = d
+			}
+		}
+		if hi == -1 || lo == -1 || len(c.disks[hi].chunks)-len(c.disks[lo].chunks) <= 1 {
+			break
+		}
+		if !c.moveOneChunk(hi, lo, rack) {
+			break // nothing movable without violating stripe constraints
+		}
+		moved++
+	}
+	return moved, nil
+}
+
+// moveOneChunk relocates one chunk from disk src to disk dst if some
+// chunk on src belongs to a stripe with no presence on dst.
+func (c *Cluster) moveOneChunk(src, dst, rack int) bool {
+	for key, data := range c.disks[src].chunks {
+		obj, ok := c.objects[key.obj]
+		if !ok {
+			continue
+		}
+		lm := &obj.stripes[key.netStripe].locals[key.localIdx]
+		conflict := false
+		for _, d := range lm.disks {
+			if d == dst {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		// Move: read from src, write to dst, update metadata.
+		c.LocalRead += float64(len(data))
+		c.writeChunk(key, dst, rack, data)
+		delete(c.disks[src].chunks, key)
+		lm.disks[key.chunkIdx] = dst
+		return true
+	}
+	return false
+}
+
+// RebalanceAll rebalances every declustered pool and returns total moves.
+func (c *Cluster) RebalanceAll() (int, error) {
+	if c.layout.Scheme.Local != placement.Declustered {
+		return 0, fmt.Errorf("cluster: rebalance applies to declustered pools")
+	}
+	total := 0
+	for p := 0; p < c.layout.TotalLocalPools(); p++ {
+		n, err := c.RebalancePool(p)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"mlec/internal/placement"
+	"mlec/internal/repair"
+)
+
+// TestSpareSpaceRepairRedirects: after repairing a failed disk in a
+// declustered pool, the rebuilt chunks live on surviving disks (spare
+// space), the replaced disk stays empty, and all data remains readable.
+func TestSpareSpaceRepairRedirects(t *testing.T) {
+	c, _ := New(smallConfig(placement.SchemeCD))
+	objs := map[string][]byte{}
+	for i := 0; i < 12; i++ {
+		name := string(rune('a' + i))
+		data := randomData(2*c.NetStripeDataBytes(), int64(i))
+		if err := c.Write(name, data); err != nil {
+			t.Fatal(err)
+		}
+		objs[name] = data
+	}
+	c.FailDisk(0)
+	if err := c.Repair(repair.RHYB); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyAll(objs); err != nil {
+		t.Fatal(err)
+	}
+	// The replaced disk holds nothing; its old chunks moved to spares.
+	if n := len(c.disks[0].chunks); n != 0 {
+		t.Errorf("replaced Dp disk holds %d chunks, want 0 (spare-space repair)", n)
+	}
+	// No stripe may reference disk 0 anymore, and stripes stay on
+	// distinct disks.
+	for _, obj := range c.objects {
+		for ns := range obj.stripes {
+			for li := range obj.stripes[ns].locals {
+				lm := obj.stripes[ns].locals[li]
+				seen := map[int]bool{}
+				for _, d := range lm.disks {
+					if lm.pool == c.layout.PoolOfDisk(0) && d == 0 {
+						t.Fatalf("stripe still references the failed disk")
+					}
+					if seen[d] {
+						t.Fatalf("stripe references disk %d twice after repair", d)
+					}
+					seen[d] = true
+				}
+			}
+		}
+	}
+}
+
+// TestClusteredRepairReplacesInPlace: clustered pools keep the failed
+// disk's identity (the spare takes its place), so the disk is refilled.
+func TestClusteredRepairReplacesInPlace(t *testing.T) {
+	c, _ := New(smallConfig(placement.SchemeCC))
+	data := randomData(4*c.NetStripeDataBytes(), 1)
+	if err := c.Write("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	before := len(c.disks[0].chunks)
+	if before == 0 {
+		t.Fatal("disk 0 hosts nothing; test setup broken")
+	}
+	c.FailDisk(0)
+	if err := c.Repair(repair.RHYB); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.disks[0].chunks); got != before {
+		t.Errorf("replaced Cp disk holds %d chunks, want %d", got, before)
+	}
+}
+
+func TestRebalanceAfterRepair(t *testing.T) {
+	c, _ := New(smallConfig(placement.SchemeCD))
+	objs := map[string][]byte{}
+	for i := 0; i < 16; i++ {
+		name := string(rune('a' + i))
+		data := randomData(2*c.NetStripeDataBytes(), int64(i))
+		if err := c.Write(name, data); err != nil {
+			t.Fatal(err)
+		}
+		objs[name] = data
+	}
+	c.FailDisk(0)
+	if err := c.Repair(repair.RHYB); err != nil {
+		t.Fatal(err)
+	}
+	pool := c.layout.PoolOfDisk(0)
+	moved, err := c.RebalancePool(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Error("rebalance moved nothing onto the empty replacement disk")
+	}
+	// Balance: max-min ≤ 1 unless constrained.
+	load := c.PoolLoad(pool)
+	min, max := load[0], load[0]
+	for _, l := range load {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if max-min > 2 {
+		t.Errorf("pool still unbalanced after rebalance: %v", load)
+	}
+	// Data integrity preserved, and a scrub stays clean.
+	if err := c.VerifyAll(objs); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Scrub()
+	if err != nil || !rep.Clean() {
+		t.Fatalf("scrub after rebalance: %+v, %v", rep, err)
+	}
+}
+
+func TestRebalanceRejectsClustered(t *testing.T) {
+	c, _ := New(smallConfig(placement.SchemeCC))
+	if _, err := c.RebalancePool(0); err == nil {
+		t.Error("rebalance accepted a clustered pool")
+	}
+	if _, err := c.RebalanceAll(); err == nil {
+		t.Error("RebalanceAll accepted a clustered layout")
+	}
+}
+
+func TestRebalanceAllIdempotent(t *testing.T) {
+	c, _ := New(smallConfig(placement.SchemeDD))
+	data := randomData(6*c.NetStripeDataBytes(), 3)
+	if err := c.Write("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RebalanceAll(); err != nil {
+		t.Fatal(err)
+	}
+	// A second pass finds nothing left to move.
+	moved, err := c.RebalanceAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 {
+		t.Errorf("second rebalance moved %d chunks", moved)
+	}
+	got, err := c.Read("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after rebalance: %v", err)
+	}
+}

@@ -1,0 +1,375 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mlec/internal/repair"
+)
+
+// stripeRef identifies one local stripe of one object.
+type stripeRef struct {
+	obj *object
+	ns  int // network stripe index
+	li  int // local index within the network stripe
+}
+
+// damage summarizes one local stripe's current chunk losses.
+type damage struct {
+	ref  stripeRef
+	meta localStripeMeta
+	lost []int // chunk indices whose disk lost the chunk
+}
+
+// scanDamage walks all stripes and groups damaged local stripes by pool.
+func (c *Cluster) scanDamage() map[int][]damage {
+	out := make(map[int][]damage)
+	for _, obj := range c.objects {
+		for ns := range obj.stripes {
+			meta := &obj.stripes[ns]
+			for li := range meta.locals {
+				lm := meta.locals[li]
+				var lost []int
+				for ci, d := range lm.disks {
+					if c.disks[d].failed {
+						lost = append(lost, ci)
+					} else if _, ok := c.disks[d].chunks[chunkKey{obj.name, ns, li, ci}]; !ok {
+						lost = append(lost, ci)
+					}
+				}
+				if len(lost) > 0 {
+					out[lm.pool] = append(out[lm.pool], damage{
+						ref:  stripeRef{obj, ns, li},
+						meta: lm,
+						lost: lost,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CatastrophicPools returns the pools that currently host at least one
+// lost local stripe (> pl lost chunks) — Table 1's "catastrophic
+// (locally-unrecoverable) local pool".
+func (c *Cluster) CatastrophicPools() []int {
+	var pools []int
+	for pool, ds := range c.scanDamage() {
+		for _, d := range ds {
+			if len(d.lost) > c.cfg.Params.PL {
+				pools = append(pools, pool)
+				break
+			}
+		}
+	}
+	return pools
+}
+
+// Repair restores all damage in the cluster: catastrophic pools are
+// repaired with the given method (R_ALL…R_MIN), remaining locally-
+// recoverable damage is repaired locally. Failed disks are replaced in
+// place. Traffic meters record the data movement.
+func (c *Cluster) Repair(method repair.Method) error {
+	byPool := c.scanDamage()
+	catastrophic := map[int]bool{}
+	for pool, ds := range byPool {
+		for _, d := range ds {
+			if len(d.lost) > c.cfg.Params.PL {
+				catastrophic[pool] = true
+				break
+			}
+		}
+	}
+	// Replace failed disks up front so rebuilt chunks have a home. The
+	// read paths below never read from a replaced-but-empty disk
+	// because lost chunks were discarded with the failure.
+	for i, d := range c.disks {
+		if d.failed {
+			c.ReplaceDisk(i)
+		}
+	}
+	for pool := range catastrophic {
+		if err := c.repairCatastrophicPool(pool, byPool[pool], method); err != nil {
+			return err
+		}
+	}
+	// Locally-recoverable pools: plain local repair.
+	for pool, ds := range byPool {
+		if catastrophic[pool] {
+			continue
+		}
+		for _, d := range ds {
+			if err := c.repairLocalStripe(d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// repairCatastrophicPool dispatches on the repair method.
+func (c *Cluster) repairCatastrophicPool(pool int, ds []damage, method repair.Method) error {
+	switch method {
+	case repair.RAll:
+		return c.repairAll(pool, ds)
+	case repair.RFCO:
+		return c.repairFailedChunksOnly(ds)
+	case repair.RHYB:
+		return c.repairHybrid(ds)
+	case repair.RMin:
+		return c.repairMinimum(ds)
+	default:
+		return fmt.Errorf("cluster: unknown repair method %v", method)
+	}
+}
+
+// repairAll rebuilds every local stripe that lives in the pool — damaged
+// or not — from the network level, as a black-box RBOD replacement would.
+func (c *Cluster) repairAll(pool int, ds []damage) error {
+	_ = ds // R_ALL ignores damage detail by design: it cannot see it.
+	// The pool hosts local stripes from potentially every object;
+	// enumerate them all.
+	for _, obj := range c.objects {
+		for ns := range obj.stripes {
+			meta := &obj.stripes[ns]
+			for li := range meta.locals {
+				if meta.locals[li].pool != pool {
+					continue
+				}
+				ref := stripeRef{obj, ns, li}
+				if err := c.rebuildStripeViaNetwork(ref, meta.locals[li], allChunks(c.cfg.Params.LocalWidth())); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func allChunks(w int) []int {
+	out := make([]int, w)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// repairFailedChunksOnly rebuilds exactly the lost chunks of each
+// damaged stripe over the network.
+func (c *Cluster) repairFailedChunksOnly(ds []damage) error {
+	for _, d := range ds {
+		if err := c.rebuildStripeViaNetwork(d.ref, d.meta, d.lost); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repairHybrid: lost stripes via network, the rest locally.
+func (c *Cluster) repairHybrid(ds []damage) error {
+	for _, d := range ds {
+		if len(d.lost) > c.cfg.Params.PL {
+			if err := c.rebuildStripeViaNetwork(d.ref, d.meta, d.lost); err != nil {
+				return err
+			}
+		} else if err := c.repairLocalStripe(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repairMinimum: stage 1 rebuilds just enough chunks of each lost stripe
+// over the network to make it locally recoverable (data chunks first);
+// stage 2 finishes everything locally.
+func (c *Cluster) repairMinimum(ds []damage) error {
+	pl := c.cfg.Params.PL
+	for _, d := range ds {
+		if len(d.lost) > pl {
+			need := len(d.lost) - pl
+			// Pick lost data chunks first: network payloads only carry
+			// data ranges; len(lost data) ≥ need always holds because
+			// at most pl parity chunks exist.
+			var viaNet []int
+			for _, ci := range d.lost {
+				if ci < c.cfg.Params.KL && len(viaNet) < need {
+					viaNet = append(viaNet, ci)
+				}
+			}
+			if len(viaNet) < need {
+				return fmt.Errorf("cluster: internal: cannot select %d network chunks from %v", need, d.lost)
+			}
+			if err := c.rebuildStripeViaNetwork(d.ref, d.meta, viaNet); err != nil {
+				return err
+			}
+			// Remaining losses are now ≤ pl.
+			remaining := damage{ref: d.ref, meta: d.meta}
+			sel := map[int]bool{}
+			for _, ci := range viaNet {
+				sel[ci] = true
+			}
+			for _, ci := range d.lost {
+				if !sel[ci] {
+					remaining.lost = append(remaining.lost, ci)
+				}
+			}
+			if len(remaining.lost) > 0 {
+				if err := c.repairLocalStripe(remaining); err != nil {
+					return err
+				}
+			}
+		} else if err := c.repairLocalStripe(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildStripeViaNetwork reconstructs the given chunk indices of one
+// local stripe using network-level parity: for each data-chunk range it
+// reads the aligned range from kn other members (shipping those bytes
+// across racks), decodes, and writes the chunk into the stripe's rack
+// (one cross-rack write per rebuilt byte). Lost parity chunks are then
+// re-encoded inside the rack from the (now complete) data chunks.
+func (c *Cluster) rebuildStripeViaNetwork(ref stripeRef, lm localStripeMeta, chunkIdxs []int) error {
+	p := c.cfg.Params
+	meta := &ref.obj.stripes[ref.ns]
+	var dataIdxs, parityIdxs []int
+	for _, ci := range chunkIdxs {
+		if ci < p.KL {
+			dataIdxs = append(dataIdxs, ci)
+		} else {
+			parityIdxs = append(parityIdxs, ci)
+		}
+	}
+	if len(dataIdxs) > 0 {
+		// Gather the aligned ranges of kn surviving members' payloads.
+		shards := make([][]byte, p.NetworkWidth())
+		have := 0
+		for li := 0; li < p.NetworkWidth() && have < p.KN; li++ {
+			if li == ref.li {
+				continue
+			}
+			rng, err := c.memberRanges(ref.obj, ref.ns, li, meta.locals[li], dataIdxs)
+			if err != nil {
+				continue // member itself unrecoverable right now
+			}
+			c.CrossRackRead += float64(len(rng)) // shipped to the coordinator
+			shards[li] = rng
+			have++
+		}
+		if have < p.KN {
+			return ErrDataLoss
+		}
+		if err := c.netC.Reconstruct(shards); err != nil {
+			return ErrDataLoss
+		}
+		// shards[ref.li] now holds the concatenated rebuilt ranges.
+		rebuilt := shards[ref.li]
+		for i, ci := range dataIdxs {
+			chunk := rebuilt[i*c.cfg.ChunkBytes : (i+1)*c.cfg.ChunkBytes]
+			c.writeRebuiltChunk(chunkKey{ref.obj.name, ref.ns, ref.li, ci}, lm, ci, -1, chunk)
+		}
+	}
+	if len(parityIdxs) > 0 {
+		if err := c.reencodeParities(ref, lm, parityIdxs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// memberRanges extracts the concatenated data ranges (per chunkIdxs) of
+// one member local stripe, reconstructing locally inside the member's
+// rack when needed.
+func (c *Cluster) memberRanges(obj *object, ns, li int, lm localStripeMeta, chunkIdxs []int) ([]byte, error) {
+	rack := c.layout.RackOfPool(lm.pool)
+	out := make([]byte, 0, len(chunkIdxs)*c.cfg.ChunkBytes)
+	var missing []int
+	for _, ci := range chunkIdxs {
+		if _, ok := c.readChunkPeek(chunkKey{obj.name, ns, li, ci}, lm.disks[ci]); !ok {
+			missing = append(missing, ci)
+		}
+	}
+	if len(missing) == 0 {
+		for _, ci := range chunkIdxs {
+			b, _ := c.readChunk(chunkKey{obj.name, ns, li, ci}, lm.disks[ci], rack)
+			out = append(out, b...)
+		}
+		return out, nil
+	}
+	// Reconstruct the member's payload locally (degraded member).
+	payload, err := c.recoverLocalPayload(obj.name, ns, li, lm)
+	if err != nil {
+		return nil, err
+	}
+	for _, ci := range chunkIdxs {
+		out = append(out, payload[ci*c.cfg.ChunkBytes:(ci+1)*c.cfg.ChunkBytes]...)
+	}
+	return out, nil
+}
+
+// readChunkPeek checks chunk presence without metering.
+func (c *Cluster) readChunkPeek(key chunkKey, from int) ([]byte, bool) {
+	d := c.disks[from]
+	if d.failed {
+		return nil, false
+	}
+	b, ok := d.chunks[key]
+	return b, ok
+}
+
+// reencodeParities rebuilds lost parity chunks inside the stripe's rack
+// from its kl data chunks (local reads + local writes).
+func (c *Cluster) reencodeParities(ref stripeRef, lm localStripeMeta, parityIdxs []int) error {
+	p := c.cfg.Params
+	rack := c.layout.RackOfPool(lm.pool)
+	chunks := make([][]byte, p.LocalWidth())
+	for ci := 0; ci < p.KL; ci++ {
+		b, ok := c.readChunk(chunkKey{ref.obj.name, ref.ns, ref.li, ci}, lm.disks[ci], rack)
+		if !ok {
+			return fmt.Errorf("cluster: data chunk %d missing during parity re-encode", ci)
+		}
+		chunks[ci] = b
+	}
+	for ci := p.KL; ci < p.LocalWidth(); ci++ {
+		chunks[ci] = make([]byte, c.cfg.ChunkBytes)
+	}
+	if err := c.locC.Encode(chunks); err != nil {
+		return err
+	}
+	for _, ci := range parityIdxs {
+		c.writeRebuiltChunk(chunkKey{ref.obj.name, ref.ns, ref.li, ci}, lm, ci, rack, chunks[ci])
+	}
+	return nil
+}
+
+// repairLocalStripe rebuilds ≤ pl lost chunks inside the rack using
+// local parity (kl reads + writes, all intra-rack).
+func (c *Cluster) repairLocalStripe(d damage) error {
+	p := c.cfg.Params
+	if len(d.lost) > p.PL {
+		return fmt.Errorf("cluster: stripe with %d losses is not locally recoverable", len(d.lost))
+	}
+	rack := c.layout.RackOfPool(d.meta.pool)
+	chunks := make([][]byte, p.LocalWidth())
+	lostSet := map[int]bool{}
+	for _, ci := range d.lost {
+		lostSet[ci] = true
+	}
+	for ci := 0; ci < p.LocalWidth(); ci++ {
+		if lostSet[ci] {
+			continue
+		}
+		if b, ok := c.readChunk(chunkKey{d.ref.obj.name, d.ref.ns, d.ref.li, ci}, d.meta.disks[ci], rack); ok {
+			chunks[ci] = b
+		}
+	}
+	if err := c.locC.Reconstruct(chunks); err != nil {
+		return ErrDataLoss
+	}
+	for _, ci := range d.lost {
+		c.writeRebuiltChunk(chunkKey{d.ref.obj.name, d.ref.ns, d.ref.li, ci}, d.meta, ci, rack, chunks[ci])
+	}
+	return nil
+}

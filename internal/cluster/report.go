@@ -1,0 +1,62 @@
+package cluster
+
+// FailureReport classifies the cluster's current damage using the
+// paper's Table 1 taxonomy.
+type FailureReport struct {
+	// Local level.
+	FailedChunks           int // lost (but possibly recoverable) chunks
+	AffectedLocalStripes   int // local stripes with ≥1 failed chunk
+	LocallyRecoverable     int // 1..pl failed chunks
+	LostLocalStripes       int // > pl failed chunks
+	CatastrophicLocalPools int // pools with ≥1 lost local stripe
+	// Network level.
+	AffectedNetworkStripes int // network stripes with ≥1 lost local stripe
+	RecoverableNetStripes  int // 1..pn lost local stripes
+	LostNetworkStripes     int // > pn lost local stripes (data loss)
+}
+
+// Report scans the cluster and returns the Table 1 classification.
+func (c *Cluster) Report() FailureReport {
+	var r FailureReport
+	pl, pn := c.cfg.Params.PL, c.cfg.Params.PN
+	catPools := map[int]bool{}
+	for _, obj := range c.objects {
+		for ns := range obj.stripes {
+			meta := &obj.stripes[ns]
+			lostLocals := 0
+			for li := range meta.locals {
+				lm := meta.locals[li]
+				lost := 0
+				for ci, d := range lm.disks {
+					if c.disks[d].failed {
+						lost++
+					} else if _, ok := c.disks[d].chunks[chunkKey{obj.name, ns, li, ci}]; !ok {
+						lost++
+					}
+				}
+				if lost == 0 {
+					continue
+				}
+				r.FailedChunks += lost
+				r.AffectedLocalStripes++
+				if lost <= pl {
+					r.LocallyRecoverable++
+				} else {
+					r.LostLocalStripes++
+					catPools[lm.pool] = true
+					lostLocals++
+				}
+			}
+			if lostLocals > 0 {
+				r.AffectedNetworkStripes++
+				if lostLocals <= pn {
+					r.RecoverableNetStripes++
+				} else {
+					r.LostNetworkStripes++
+				}
+			}
+		}
+	}
+	r.CatastrophicLocalPools = len(catPools)
+	return r
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"testing"
+
+	"mlec/internal/placement"
+)
+
+func TestReportHealthy(t *testing.T) {
+	c, _ := New(smallConfig(placement.SchemeCC))
+	if err := c.Write("obj", randomData(c.NetStripeDataBytes(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	if r != (FailureReport{}) {
+		t.Fatalf("healthy cluster report %+v", r)
+	}
+}
+
+func TestReportClassification(t *testing.T) {
+	// C/C small config: (2+1)/(4+2); pool 0 = disks 0..5 of rack 0.
+	c, _ := New(smallConfig(placement.SchemeCC))
+	if err := c.Write("obj", randomData(c.NetStripeDataBytes(), 2)); err != nil {
+		t.Fatal(err)
+	}
+	// One failed disk: each stripe it holds is affected but locally
+	// recoverable; no lost stripes, no catastrophic pools.
+	c.FailDisk(0)
+	r := c.Report()
+	if r.FailedChunks == 0 || r.AffectedLocalStripes == 0 {
+		t.Fatalf("no damage recorded: %+v", r)
+	}
+	if r.LocallyRecoverable != r.AffectedLocalStripes {
+		t.Fatalf("single disk must leave all stripes locally recoverable: %+v", r)
+	}
+	if r.LostLocalStripes != 0 || r.CatastrophicLocalPools != 0 || r.LostNetworkStripes != 0 {
+		t.Fatalf("single disk produced losses: %+v", r)
+	}
+
+	// pl+1 = 3 failures in pool 0: its stripes become lost local
+	// stripes, the pool catastrophic; network stripes remain
+	// recoverable (pn = 1).
+	c.FailDisk(1)
+	c.FailDisk(2)
+	r = c.Report()
+	if r.LostLocalStripes == 0 || r.CatastrophicLocalPools != 1 {
+		t.Fatalf("triple failure not catastrophic: %+v", r)
+	}
+	if r.AffectedNetworkStripes == 0 || r.RecoverableNetStripes != r.AffectedNetworkStripes {
+		t.Fatalf("network stripes misclassified: %+v", r)
+	}
+	if r.LostNetworkStripes != 0 {
+		t.Fatalf("data loss misreported: %+v", r)
+	}
+
+	// Second aligned catastrophic pool (rack 1, same position): with
+	// pn = 1, network stripes placed across both pools are lost.
+	dpr := c.cfg.Topo.DisksPerRack()
+	c.FailDisk(dpr + 0)
+	c.FailDisk(dpr + 1)
+	c.FailDisk(dpr + 2)
+	r = c.Report()
+	if r.CatastrophicLocalPools != 2 {
+		t.Fatalf("want 2 catastrophic pools: %+v", r)
+	}
+	if r.LostNetworkStripes == 0 {
+		t.Fatalf("pn+1 aligned catastrophic pools must lose network stripes: %+v", r)
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mlec/internal/placement"
+	"mlec/internal/repair"
+)
+
+// TestRandomFailureRepairCycles is a property test over the whole storage
+// system: across many randomized rounds of (fail some disks → repair with
+// a random method → verify everything), data must never corrupt as long
+// as each round's failures stay within a single rack (the network level
+// tolerates pn = 1 lost local stripe per network stripe, and one rack can
+// host at most one member of any network stripe).
+func TestRandomFailureRepairCycles(t *testing.T) {
+	for _, scheme := range placement.AllSchemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			c, err := New(smallConfig(scheme))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(99))
+			objs := map[string][]byte{}
+			for i := 0; i < 8; i++ {
+				name := string(rune('a' + i))
+				data := randomData(c.NetStripeDataBytes()+rng.Intn(2000)+1, int64(i))
+				if err := c.Write(name, data); err != nil {
+					t.Fatal(err)
+				}
+				objs[name] = data
+			}
+			dpr := c.cfg.Topo.DisksPerRack()
+			for round := 0; round < 25; round++ {
+				// Fail 1..6 random disks of one random rack.
+				rack := rng.Intn(c.cfg.Topo.Racks)
+				n := 1 + rng.Intn(6)
+				for _, d := range rng.Perm(dpr)[:n] {
+					c.FailDisk(rack*dpr + d)
+				}
+				method := repair.AllMethods[rng.Intn(len(repair.AllMethods))]
+				if err := c.Repair(method); err != nil {
+					t.Fatalf("round %d (%v, rack %d, %d disks): %v", round, method, rack, n, err)
+				}
+				for name, want := range objs {
+					got, err := c.Read(name)
+					if err != nil {
+						t.Fatalf("round %d: read %q: %v", round, name, err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("round %d: object %q corrupted", round, name)
+					}
+				}
+				rep, err := c.Scrub()
+				if err != nil {
+					t.Fatalf("round %d: scrub: %v", round, err)
+				}
+				if !rep.Clean() {
+					t.Fatalf("round %d: scrub found inconsistencies: %+v", round, rep)
+				}
+				if rep.SkippedDegraded != 0 {
+					t.Fatalf("round %d: repair left degraded stripes: %+v", round, rep)
+				}
+			}
+		})
+	}
+}
+
+// TestRandomCrossRackFailures exercises multi-rack failures that stay
+// within the combined tolerance: ≤ pl failures per enclosure never even
+// need network repair, for any number of affected racks.
+func TestRandomCrossRackFailures(t *testing.T) {
+	c, err := New(smallConfig(placement.SchemeDD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	data := randomData(4*c.NetStripeDataBytes(), 1)
+	if err := c.Write("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		// pl = 2: fail ≤2 disks in each of several enclosures.
+		topo := c.cfg.Topo
+		for e := 0; e < topo.TotalEnclosures(); e++ {
+			if rng.Float64() < 0.5 {
+				continue
+			}
+			for _, d := range rng.Perm(topo.DisksPerEnclosure)[:rng.Intn(3)] {
+				c.FailDisk(e*topo.DisksPerEnclosure + d)
+			}
+		}
+		if pools := c.CatastrophicPools(); len(pools) != 0 {
+			t.Fatalf("round %d: ≤pl failures per enclosure made pools catastrophic: %v", round, pools)
+		}
+		if err := c.Repair(repair.RHYB); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		got, err := c.Read("obj")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("round %d: read failed: %v", round, err)
+		}
+		// All repairs must have been local: no cross-rack traffic.
+		if tr := c.CrossRackTotal(); tr != 0 {
+			t.Fatalf("round %d: locally-recoverable damage moved %g cross-rack bytes", round, tr)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mlec/internal/failure"
+	"mlec/internal/markov"
+	"mlec/internal/mathx"
+	"mlec/internal/placement"
+	"mlec/internal/poolsim"
+	"mlec/internal/render"
+	"mlec/internal/repair"
+	"mlec/internal/splitting"
+)
+
+// poolSimConfig builds the poolsim configuration for one local placement
+// kind under the paper topology.
+func poolSimConfig(local placement.Kind, opts Options) poolsim.Config {
+	topo := paperTopo()
+	params := paperParams()
+	cfg := poolsim.Config{
+		Width: params.LocalWidth(), Parity: params.PL,
+		DiskCapacityBytes:   topo.DiskCapacityBytes,
+		DiskRepairBW:        topo.DiskRepairBandwidth(),
+		DetectionDelayHours: failure.DefaultDetectionDelayHours,
+	}
+	if local == placement.Clustered {
+		cfg.Disks = params.LocalWidth()
+		cfg.Clustered = true
+		cfg.SegmentsPerDisk = 100
+	} else {
+		cfg.Disks = topo.DisksPerEnclosure
+		cfg.SegmentsPerDisk = 240
+		if opts.Quick {
+			cfg.SegmentsPerDisk = 60
+		}
+	}
+	return cfg
+}
+
+// stage1ByLocal estimates the catastrophic-pool behaviour for both local
+// placement kinds. Quick mode uses the Markov R_ALL view with the
+// analytic lost-stripe fraction; full mode runs the poolsim splitting
+// estimator (the paper's stage 1).
+func stage1ByLocal(opts Options) (map[placement.Kind]splitting.Stage1, error) {
+	out := map[placement.Kind]splitting.Stage1{}
+	params := paperParams()
+	if opts.Quick {
+		for _, kind := range []placement.Kind{placement.Clustered, placement.Declustered} {
+			scheme := placement.Scheme{Network: placement.Clustered, Local: kind}
+			l, err := placement.NewLayout(paperTopo(), params, scheme)
+			if err != nil {
+				return nil, err
+			}
+			m := markov.MLECRAllModel{Layout: l, LambdaPerHour: opts.lambda()}
+			rate, err := m.CatRatePerPoolHour()
+			if err != nil {
+				return nil, err
+			}
+			s1 := splitting.Stage1FromSplit(poolSimConfig(kind, opts),
+				poolsim.SplitResult{CatRatePerPoolHour: rate})
+			out[kind] = s1
+		}
+		return out, nil
+	}
+	ttf, err := failure.NewExponentialAFR(opts.afr())
+	if err != nil {
+		return nil, err
+	}
+	for _, kind := range []placement.Kind{placement.Clustered, placement.Declustered} {
+		cfg := poolSimConfig(kind, opts)
+		res, err := poolsim.Split(cfg, ttf, poolsim.SplitConfig{
+			TrajectoriesPerLevel: 20000, Seed: opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[kind] = splitting.Stage1FromSplit(cfg, res)
+	}
+	return out, nil
+}
+
+// Fig7Result carries the catastrophic-local-failure probabilities.
+type Fig7Result struct {
+	// PerScheme maps each MLEC scheme to the annual system-wide
+	// probability of at least one catastrophic local pool failure.
+	PerScheme map[placement.Scheme]float64
+}
+
+// Fig7 estimates the probability of catastrophic local failure (§4.1.3).
+func Fig7(opts Options) (*Fig7Result, error) {
+	s1, err := stage1ByLocal(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{PerScheme: map[placement.Scheme]float64{}}
+	for _, s := range placement.AllSchemes {
+		l, err := placement.NewLayout(paperTopo(), paperParams(), s)
+		if err != nil {
+			return nil, err
+		}
+		rate := s1[s.Local].CatRatePerPoolHour * float64(l.TotalLocalPools())
+		res.PerScheme[s] = mathx.RateToAnnualPDL(rate)
+	}
+	return res, nil
+}
+
+// Render prints per-scheme probabilities.
+func (r *Fig7Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 7: probability of catastrophic local failure (per system-year)")
+	rows := make([][]string, 0, 4)
+	for _, s := range placement.AllSchemes {
+		rows = append(rows, []string{s.String(), fmt.Sprintf("%.3g", r.PerScheme[s])})
+	}
+	return render.Table(w, []string{"scheme", "P(catastrophic local failure)/yr"}, rows)
+}
+
+// Fig10Result carries the durability table.
+type Fig10Result struct {
+	Rows []splitting.Fig10Row
+}
+
+// Fig10 estimates system durability for the four schemes × four repair
+// methods (§4.2.3).
+func Fig10(opts Options) (*Fig10Result, error) {
+	s1, err := stage1ByLocal(opts)
+	if err != nil {
+		return nil, err
+	}
+	layouts := map[placement.Scheme]*placement.Layout{}
+	for _, s := range placement.AllSchemes {
+		l, err := placement.NewLayout(paperTopo(), paperParams(), s)
+		if err != nil {
+			return nil, err
+		}
+		layouts[s] = l
+	}
+	rows, err := splitting.Fig10(layouts, s1)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig10Result{Rows: rows}, nil
+}
+
+// Render prints durability in nines, matching the Figure 10 bars.
+func (r *Fig10Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 10: durability (nines of annual PDL) by scheme and repair method")
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		cells := []string{row.Scheme.String()}
+		for _, m := range repair.AllMethods {
+			cells = append(cells, fmt.Sprintf("%.1f", row.Results[int(m)].Nines))
+		}
+		rows = append(rows, cells)
+	}
+	return render.Table(w, []string{"scheme", "R_ALL", "R_FCO", "R_HYB", "R_MIN"}, rows)
+}
+
+func init() {
+	register("fig7", "probability of catastrophic local failure per scheme",
+		func(opts Options, w io.Writer) error {
+			r, err := Fig7(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		})
+	register("fig10", "durability (nines) per scheme and repair method",
+		func(opts Options, w io.Writer) error {
+			r, err := Fig10(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		})
+}

@@ -1,0 +1,84 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver computes typed results and can render
+// them as the rows/series the paper reports; cmd/mlecsim, the benchmark
+// harness, and EXPERIMENTS.md all consume these drivers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mlec/internal/placement"
+	"mlec/internal/topology"
+)
+
+// Options tunes experiment fidelity.
+type Options struct {
+	// Quick selects reduced grids/trials for benchmarks and CI. The
+	// full setting reproduces the paper-scale study.
+	Quick bool
+	// Seed drives every stochastic component.
+	Seed int64
+	// AFR overrides the annual failure rate (default 0.01, the paper's
+	// 1%).
+	AFR float64
+	// CSV switches renders that support it (the PDL heatmaps) from
+	// ASCII art to machine-readable CSV.
+	CSV bool
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options { return Options{Seed: 1, AFR: 0.01} }
+
+func (o Options) afr() float64 {
+	if o.AFR <= 0 || o.AFR >= 1 {
+		return 0.01
+	}
+	return o.AFR
+}
+
+// lambda returns the per-hour failure rate implied by the AFR.
+func (o Options) lambda() float64 { return o.afr() / 8760 }
+
+// Runner is the common shape of an experiment entry point.
+type Runner func(opts Options, w io.Writer) error
+
+// registry maps experiment ids to runners; populated by init() calls in
+// the per-figure files.
+var registry = map[string]Runner{}
+
+var descriptions = map[string]string{}
+
+func register(id, desc string, r Runner) {
+	registry[id] = r
+	descriptions[id] = desc
+}
+
+// Run executes the experiment with the given id, rendering to w.
+func Run(id string, opts Options, w io.Writer) error {
+	r, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (try List())", id)
+	}
+	return r(opts, w)
+}
+
+// List returns the registered experiment ids in sorted order.
+func List() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe returns the one-line description of an experiment id.
+func Describe(id string) string { return descriptions[id] }
+
+// paperTopo is the §3 datacenter.
+func paperTopo() topology.Config { return topology.Default() }
+
+// paperParams is the §3 (10+2)/(17+3) MLEC.
+func paperParams() placement.Params { return placement.DefaultParams() }

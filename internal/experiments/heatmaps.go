@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mlec/internal/burst"
+	"mlec/internal/placement"
+	"mlec/internal/render"
+)
+
+// heatmapGrid returns the (x racks, y failures) axes used by the PDL
+// heatmaps (Figures 5, 13, 16): the paper sweeps 1..60 racks and up to 60
+// failures.
+func heatmapGrid(opts Options) (xs, ys []int, trials int) {
+	if opts.Quick {
+		for x := 1; x <= 60; x += 10 {
+			xs = append(xs, x)
+		}
+		for y := 12; y <= 60; y += 16 {
+			ys = append(ys, y)
+		}
+		return xs, ys, 120
+	}
+	for x := 1; x <= 60; x += 2 {
+		xs = append(xs, x)
+	}
+	for y := 4; y <= 60; y += 4 {
+		ys = append(ys, y)
+	}
+	return xs, ys, 600
+}
+
+func renderGrid(w io.Writer, title string, g *burst.Grid) error {
+	cells := make([][]float64, len(g.Ys))
+	for iy := range g.Ys {
+		cells[iy] = make([]float64, len(g.Xs))
+		for ix := range g.Xs {
+			cells[iy][ix] = g.Cells[iy][ix].PDL
+			if g.Cells[iy][ix].Trials == 0 {
+				cells[iy][ix] = math.NaN()
+			}
+		}
+	}
+	return render.Heatmap(w, g.Xs, g.Ys, cells, render.HeatmapOpts{
+		Title: title, MinExp: -6, XLabel: "affected racks", YLabel: "failed disks",
+	})
+}
+
+// Fig5Result holds the four MLEC PDL heatmaps.
+type Fig5Result struct {
+	Grids map[placement.Scheme]*burst.Grid
+}
+
+// Fig5 evaluates PDL under correlated failure bursts for the four MLEC
+// schemes (§4.1.1).
+func Fig5(opts Options) (*Fig5Result, error) {
+	xs, ys, trials := heatmapGrid(opts)
+	res := &Fig5Result{Grids: map[placement.Scheme]*burst.Grid{}}
+	for _, s := range placement.AllSchemes {
+		l, err := placement.NewLayout(paperTopo(), paperParams(), s)
+		if err != nil {
+			return nil, err
+		}
+		g, err := burst.Heatmap(burst.NewMLECEvaluator(l), xs, ys, trials, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Grids[s] = g
+	}
+	return res, nil
+}
+
+// Render prints the four heatmaps in the paper's order.
+func (r *Fig5Result) Render(w io.Writer) error {
+	for _, s := range placement.AllSchemes {
+		if err := renderGrid(w, fmt.Sprintf("Figure 5 (%v): MLEC PDL under correlated bursts", s), r.Grids[s]); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig13Result holds the four SLEC PDL heatmaps.
+type Fig13Result struct {
+	Params placement.SLECParams
+	Grids  map[placement.SLECPlacement]*burst.Grid
+}
+
+// Fig13 evaluates burst PDL for the four SLEC placements with the
+// paper's (7+3) code (§5.1.3).
+func Fig13(opts Options) (*Fig13Result, error) {
+	xs, ys, trials := heatmapGrid(opts)
+	params := placement.SLECParams{K: 7, P: 3}
+	res := &Fig13Result{Params: params, Grids: map[placement.SLECPlacement]*burst.Grid{}}
+	for _, pl := range placement.AllSLECPlacements {
+		l, err := placement.NewSLECLayout(paperTopo(), params, pl)
+		if err != nil {
+			return nil, err
+		}
+		g, err := burst.Heatmap(burst.NewSLECEvaluator(l), xs, ys, trials, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Grids[pl] = g
+	}
+	return res, nil
+}
+
+// Render prints the four heatmaps in the paper's order.
+func (r *Fig13Result) Render(w io.Writer) error {
+	for _, pl := range placement.AllSLECPlacements {
+		if err := renderGrid(w, fmt.Sprintf("Figure 13 (%v %v): SLEC PDL under correlated bursts", pl, r.Params), r.Grids[pl]); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig16Result holds the LRC-Dp PDL heatmap.
+type Fig16Result struct {
+	Params placement.LRCParams
+	Grid   *burst.Grid
+}
+
+// Fig16 evaluates burst PDL for the paper's (14,2,4) LRC-Dp (§5.2.3).
+func Fig16(opts Options) (*Fig16Result, error) {
+	xs, ys, trials := heatmapGrid(opts)
+	params := placement.LRCParams{K: 14, L: 2, R: 4}
+	l, err := placement.NewLRCLayout(paperTopo(), params)
+	if err != nil {
+		return nil, err
+	}
+	g, err := burst.Heatmap(burst.NewLRCEvaluator(l, opts.Seed), xs, ys, trials, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig16Result{Params: params, Grid: g}, nil
+}
+
+// Render prints the heatmap.
+func (r *Fig16Result) Render(w io.Writer) error {
+	return renderGrid(w, fmt.Sprintf("Figure 16 (LRC-Dp %v): PDL under correlated bursts", r.Params), r.Grid)
+}
+
+// writeGridCSV emits one labelled grid in CSV form.
+func writeGridCSV(w io.Writer, label string, g *burst.Grid) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", label); err != nil {
+		return err
+	}
+	return g.WriteCSV(w)
+}
+
+func init() {
+	register("fig5", "MLEC PDL heatmaps under correlated failure bursts (4 schemes)",
+		func(opts Options, w io.Writer) error {
+			r, err := Fig5(opts)
+			if err != nil {
+				return err
+			}
+			if opts.CSV {
+				for _, s := range placement.AllSchemes {
+					if err := writeGridCSV(w, "fig5 "+s.String(), r.Grids[s]); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return r.Render(w)
+		})
+	register("fig13", "SLEC PDL heatmaps under correlated failure bursts (4 placements)",
+		func(opts Options, w io.Writer) error {
+			r, err := Fig13(opts)
+			if err != nil {
+				return err
+			}
+			if opts.CSV {
+				for _, pl := range placement.AllSLECPlacements {
+					if err := writeGridCSV(w, "fig13 "+pl.String(), r.Grids[pl]); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return r.Render(w)
+		})
+	register("fig16", "LRC-Dp PDL heatmap under correlated failure bursts",
+		func(opts Options, w io.Writer) error {
+			r, err := Fig16(opts)
+			if err != nil {
+				return err
+			}
+			if opts.CSV {
+				return writeGridCSV(w, "fig16 LRC-Dp", r.Grid)
+			}
+			return r.Render(w)
+		})
+}

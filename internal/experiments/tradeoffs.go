@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mlec/internal/ecdur"
+	"mlec/internal/markov"
+	"mlec/internal/placement"
+	"mlec/internal/poolsim"
+	"mlec/internal/render"
+	"mlec/internal/repair"
+	"mlec/internal/splitting"
+	"mlec/internal/throughput"
+)
+
+// measureDur returns the per-cell throughput measurement budget.
+func measureDur(opts Options) time.Duration {
+	if opts.Quick {
+		return 4 * time.Millisecond
+	}
+	return 40 * time.Millisecond
+}
+
+// Fig11Result carries the encoding-throughput heatmap.
+type Fig11Result struct {
+	Cells []throughput.Cell
+}
+
+// Fig11 measures single-goroutine RS encoding throughput over the paper's
+// (k, p) grid (§5.1.1). Quick mode samples a sub-grid.
+func Fig11(opts Options) (*Fig11Result, error) {
+	var ks, ps []int
+	if opts.Quick {
+		ks = []int{2, 10, 26, 50}
+		ps = []int{1, 4, 10}
+	} else {
+		for k := 2; k <= 50; k += 4 {
+			ks = append(ks, k)
+		}
+		ps = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	}
+	cells, err := throughput.Fig11Grid(ks, ps, throughput.DefaultShardBytes, measureDur(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Fig11Result{Cells: cells}, nil
+}
+
+// Render prints the grid as CSV-like rows (k, p, GB/s).
+func (r *Fig11Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 11: single-core encoding throughput for (k+p) SLEC")
+	rows := make([][]string, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", c.K), fmt.Sprintf("%d", c.P),
+			fmt.Sprintf("%.2f", c.BytesPerSec/1e9),
+		})
+	}
+	return render.Table(w, []string{"k", "p", "GB/s"}, rows)
+}
+
+// TradeoffPoint is one configuration on a durability/throughput scatter.
+type TradeoffPoint struct {
+	Label       string
+	Overhead    float64 // parity share of raw capacity
+	Nines       float64
+	BytesPerSec float64
+}
+
+// Fig12Result carries the MLEC-vs-SLEC tradeoff scatter (both panels).
+type Fig12Result struct {
+	// PanelA: C/C vs Loc-Cp-S / Net-Cp-S. PanelB: C/D vs Loc-Dp-S /
+	// Net-Dp-S. All points sit near 30% parity overhead.
+	PanelA, PanelB []TradeoffPoint
+}
+
+// mlecConfigs30 lists MLEC parameter pairs with ≈30% parity overhead that
+// satisfy the paper topology's divisibility constraints.
+var mlecConfigs30 = []placement.Params{
+	{KN: 5, PN: 1, KL: 5, PL: 1},
+	{KN: 5, PN: 1, KL: 10, PL: 2},
+	{KN: 5, PN: 1, KL: 17, PL: 3},
+	{KN: 10, PN: 2, KL: 10, PL: 2},
+	{KN: 10, PN: 2, KL: 17, PL: 3},
+	{KN: 17, PN: 3, KL: 17, PL: 3},
+	{KN: 17, PN: 3, KL: 25, PL: 5},
+	{KN: 10, PN: 2, KL: 34, PL: 6},
+}
+
+// slecConfigs30 lists ≈30%-overhead SLEC codes whose widths divide both
+// the enclosure (120) and rack (60) counts.
+var slecConfigs30 = []placement.SLECParams{
+	{K: 7, P: 3}, {K: 14, P: 6}, {K: 21, P: 9}, {K: 28, P: 12}, {K: 41, P: 19},
+}
+
+// mlecTradeoffPoint evaluates one MLEC config: R_MIN durability via the
+// splitting composition (Markov stage 1 — the R_ALL-visible rate — with
+// the analytic lost-stripe fraction) and measured encoding throughput.
+func mlecTradeoffPoint(params placement.Params, scheme placement.Scheme, opts Options) (TradeoffPoint, error) {
+	l, err := placement.NewLayout(paperTopo(), params, scheme)
+	if err != nil {
+		return TradeoffPoint{}, err
+	}
+	m := markov.MLECRAllModel{Layout: l, LambdaPerHour: opts.lambda()}
+	rate, err := m.CatRatePerPoolHour()
+	if err != nil {
+		return TradeoffPoint{}, err
+	}
+	cfg := poolsim.Config{
+		Disks: l.LocalPoolSize(), Width: params.LocalWidth(), Parity: params.PL,
+		Clustered:       scheme.Local == placement.Clustered,
+		SegmentsPerDisk: 100, DiskCapacityBytes: paperTopo().DiskCapacityBytes,
+		DiskRepairBW: paperTopo().DiskRepairBandwidth(), DetectionDelayHours: 0.5,
+	}
+	s1 := splitting.Stage1FromSplit(cfg, poolsim.SplitResult{CatRatePerPoolHour: rate})
+	dur, err := splitting.Durability(l, repair.RMin, s1)
+	if err != nil {
+		return TradeoffPoint{}, err
+	}
+	tp, err := throughput.MeasureMLEC(params, throughput.DefaultShardBytes, measureDur(opts))
+	if err != nil {
+		return TradeoffPoint{}, err
+	}
+	return TradeoffPoint{
+		Label:       fmt.Sprintf("%v %v", scheme, params),
+		Overhead:    params.StorageOverhead(),
+		Nines:       dur.Nines,
+		BytesPerSec: tp,
+	}, nil
+}
+
+// slecTradeoffPoint evaluates one SLEC config.
+func slecTradeoffPoint(params placement.SLECParams, pl placement.SLECPlacement, opts Options) (TradeoffPoint, error) {
+	r, err := ecdur.SLEC(paperTopo(), params, pl, opts.lambda())
+	if err != nil {
+		return TradeoffPoint{}, err
+	}
+	tp, err := throughput.MeasureRS(params.K, params.P, throughput.DefaultShardBytes, measureDur(opts))
+	if err != nil {
+		return TradeoffPoint{}, err
+	}
+	return TradeoffPoint{
+		Label:       r.Label,
+		Overhead:    float64(params.P) / float64(params.Width()),
+		Nines:       r.Nines,
+		BytesPerSec: tp,
+	}, nil
+}
+
+// Fig12 builds the MLEC-vs-SLEC durability/throughput scatter (§5.1.2).
+func Fig12(opts Options) (*Fig12Result, error) {
+	res := &Fig12Result{}
+	mlecCfgs := mlecConfigs30
+	slecCfgs := slecConfigs30
+	if opts.Quick {
+		mlecCfgs = mlecCfgs[:3]
+		slecCfgs = slecCfgs[:3]
+	}
+	for _, p := range mlecCfgs {
+		a, err := mlecTradeoffPoint(p, placement.SchemeCC, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.PanelA = append(res.PanelA, a)
+		b, err := mlecTradeoffPoint(p, placement.SchemeCD, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.PanelB = append(res.PanelB, b)
+	}
+	for _, p := range slecCfgs {
+		for _, pl := range []placement.SLECPlacement{placement.LocalCp, placement.NetworkCp} {
+			if _, err := placement.NewSLECLayout(paperTopo(), p, pl); err != nil {
+				continue // width doesn't divide this placement's pools
+			}
+			pt, err := slecTradeoffPoint(p, pl, opts)
+			if err != nil {
+				return nil, err
+			}
+			res.PanelA = append(res.PanelA, pt)
+		}
+		for _, pl := range []placement.SLECPlacement{placement.LocalDp, placement.NetworkDp} {
+			if _, err := placement.NewSLECLayout(paperTopo(), p, pl); err != nil {
+				continue
+			}
+			pt, err := slecTradeoffPoint(p, pl, opts)
+			if err != nil {
+				return nil, err
+			}
+			res.PanelB = append(res.PanelB, pt)
+		}
+	}
+	return res, nil
+}
+
+// Render prints both panels.
+func (r *Fig12Result) Render(w io.Writer) error {
+	for name, pts := range map[string][]TradeoffPoint{
+		"Figure 12a: C/C MLEC vs clustered SLEC":   r.PanelA,
+		"Figure 12b: C/D MLEC vs declustered SLEC": r.PanelB,
+	} {
+		fmt.Fprintln(w, name)
+		if err := renderPoints(w, pts); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func renderPoints(w io.Writer, pts []TradeoffPoint) error {
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Label,
+			fmt.Sprintf("%.0f%%", p.Overhead*100),
+			fmt.Sprintf("%.1f", p.Nines),
+			fmt.Sprintf("%.2f GB/s", p.BytesPerSec/1e9),
+		})
+	}
+	return render.Table(w, []string{"config", "overhead", "durability (nines)", "encode throughput"}, rows)
+}
+
+// Fig15Result carries the MLEC-vs-LRC tradeoff scatter.
+type Fig15Result struct {
+	Points []TradeoffPoint
+}
+
+// lrcConfigs30 lists ≈30%-overhead LRCs ((l+r)/(k+l+r) ≈ 0.3).
+var lrcConfigs30 = []placement.LRCParams{
+	{K: 7, L: 1, R: 2},
+	{K: 10, L: 2, R: 2},
+	{K: 14, L: 2, R: 4},
+	{K: 21, L: 3, R: 6},
+	{K: 28, L: 4, R: 8},
+}
+
+// Fig15 builds the C/D-vs-LRC-Dp durability/throughput scatter (§5.2.2).
+func Fig15(opts Options) (*Fig15Result, error) {
+	res := &Fig15Result{}
+	mlecCfgs := mlecConfigs30
+	lrcCfgs := lrcConfigs30
+	if opts.Quick {
+		mlecCfgs = mlecCfgs[:3]
+		lrcCfgs = lrcCfgs[:3]
+	}
+	for _, p := range mlecCfgs {
+		pt, err := mlecTradeoffPoint(p, placement.SchemeCD, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	for _, p := range lrcCfgs {
+		r, err := ecdur.LRC(paperTopo(), p, opts.lambda())
+		if err != nil {
+			return nil, err
+		}
+		tp, err := throughput.MeasureLRC(p.K, p.L, p.R, throughput.DefaultShardBytes, measureDur(opts))
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, TradeoffPoint{
+			Label:       r.Label,
+			Overhead:    float64(p.L+p.R) / float64(p.Width()),
+			Nines:       r.Nines,
+			BytesPerSec: tp,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the scatter.
+func (r *Fig15Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 15: C/D MLEC vs LRC-Dp durability/throughput tradeoff")
+	return renderPoints(w, r.Points)
+}
+
+func init() {
+	register("fig11", "encoding throughput heatmap over (k, p)",
+		func(opts Options, w io.Writer) error {
+			r, err := Fig11(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		})
+	register("fig12", "MLEC vs SLEC durability/throughput tradeoff at ~30% overhead",
+		func(opts Options, w io.Writer) error {
+			r, err := Fig12(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		})
+	register("fig15", "MLEC vs LRC durability/throughput tradeoff at ~30% overhead",
+		func(opts Options, w io.Writer) error {
+			r, err := Fig15(opts)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		})
+}

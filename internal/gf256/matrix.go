@@ -1,0 +1,149 @@
+package gf256
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Matrix is a dense matrix over GF(2^8), stored row-major.
+type Matrix struct {
+	Rows, Cols int
+	Data       []byte // len == Rows*Cols
+}
+
+// NewMatrix returns a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("gf256: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) byte { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.Data[r*m.Cols+c] = v }
+
+// Row returns row r as a slice aliasing the matrix storage.
+func (m *Matrix) Row(r int) []byte { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Mul returns the matrix product m·other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("gf256: matrix size mismatch %dx%d · %dx%d",
+			m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for r := 0; r < m.Rows; r++ {
+		mr := m.Row(r)
+		or := out.Row(r)
+		for k := 0; k < m.Cols; k++ {
+			a := mr[k]
+			if a == 0 {
+				continue
+			}
+			mt := &mulTable[a]
+			ok := other.Row(k)
+			for c := range or {
+				or[c] ^= mt[ok[c]]
+			}
+		}
+	}
+	return out
+}
+
+// SubMatrix returns the rectangle [r0, r1) × [c0, c1) as a new matrix.
+func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) *Matrix {
+	out := NewMatrix(r1-r0, c1-c0)
+	for r := r0; r < r1; r++ {
+		copy(out.Row(r-r0), m.Row(r)[c0:c1])
+	}
+	return out
+}
+
+// ErrSingular is returned when a matrix inversion fails because the matrix
+// is singular (which would indicate a non-MDS code construction).
+var ErrSingular = errors.New("gf256: matrix is singular")
+
+// Invert returns the inverse of a square matrix using Gauss–Jordan
+// elimination, or ErrSingular.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		panic("gf256: cannot invert non-square matrix")
+	}
+	n := m.Rows
+	work := m.Clone()
+	out := Identity(n)
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(out, pivot, col)
+		}
+		// Scale pivot row to make the pivot 1.
+		if pv := work.At(col, col); pv != 1 {
+			inv := Inv(pv)
+			MulSlice(inv, work.Row(col), work.Row(col))
+			MulSlice(inv, out.Row(col), out.Row(col))
+		}
+		// Eliminate the column from all other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.At(r, col)
+			if f == 0 {
+				continue
+			}
+			MulAddSlice(f, work.Row(col), work.Row(r))
+			MulAddSlice(f, out.Row(col), out.Row(r))
+		}
+	}
+	return out, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// Vandermonde returns the rows×cols matrix with element (r, c) = g^(r·c).
+// Used as the seed for the systematic Reed–Solomon encoding matrix.
+func Vandermonde(rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, Exp(r*c))
+		}
+	}
+	return m
+}

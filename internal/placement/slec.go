@@ -1,0 +1,227 @@
+package placement
+
+import (
+	"fmt"
+
+	"mlec/internal/topology"
+)
+
+// SLECPlacement enumerates the four single-level EC placements of
+// Section 5.1.3 (Figure 13).
+type SLECPlacement int
+
+const (
+	// LocalCp: pools of k+p disks inside one enclosure; tolerates disk
+	// failures only.
+	LocalCp SLECPlacement = iota
+	// LocalDp: one declustered pool per enclosure.
+	LocalDp
+	// NetworkCp: racks grouped by k+p; a stripe has one chunk in each
+	// rack of its group, at aligned disk positions.
+	NetworkCp
+	// NetworkDp: the whole system is one pool; each stripe picks k+p
+	// random disks in distinct racks.
+	NetworkDp
+)
+
+// String renders the paper's labels.
+func (p SLECPlacement) String() string {
+	switch p {
+	case LocalCp:
+		return "Loc-Cp"
+	case LocalDp:
+		return "Loc-Dp"
+	case NetworkCp:
+		return "Net-Cp"
+	case NetworkDp:
+		return "Net-Dp"
+	default:
+		return fmt.Sprintf("SLECPlacement(%d)", int(p))
+	}
+}
+
+// AllSLECPlacements lists the placements in the paper's Figure 13 order.
+var AllSLECPlacements = []SLECPlacement{LocalCp, LocalDp, NetworkCp, NetworkDp}
+
+// SLECParams is a single-level (k+p) code.
+type SLECParams struct {
+	K, P int
+}
+
+// String renders "(7+3)".
+func (p SLECParams) String() string { return fmt.Sprintf("(%d+%d)", p.K, p.P) }
+
+// Width returns k+p.
+func (p SLECParams) Width() int { return p.K + p.P }
+
+// StorageOverhead returns p/(k+p)... the paper describes overhead as
+// parity fraction relative to data: p/k.
+func (p SLECParams) StorageOverhead() float64 { return float64(p.P) / float64(p.K) }
+
+// SLECLayout binds topology, parameters and placement.
+type SLECLayout struct {
+	Topo      topology.Config
+	Params    SLECParams
+	Placement SLECPlacement
+}
+
+// NewSLECLayout validates divisibility constraints analogous to MLEC's.
+func NewSLECLayout(topo topology.Config, params SLECParams, pl SLECPlacement) (*SLECLayout, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if params.K <= 0 || params.P < 0 {
+		return nil, fmt.Errorf("placement: invalid SLEC params %v", params)
+	}
+	switch pl {
+	case LocalCp:
+		if topo.DisksPerEnclosure%params.Width() != 0 {
+			return nil, fmt.Errorf("placement: Loc-Cp needs enclosure %d divisible by k+p=%d",
+				topo.DisksPerEnclosure, params.Width())
+		}
+	case LocalDp:
+		if topo.DisksPerEnclosure < params.Width() {
+			return nil, fmt.Errorf("placement: Loc-Dp pool narrower than stripe")
+		}
+	case NetworkCp:
+		if topo.Racks%params.Width() != 0 {
+			return nil, fmt.Errorf("placement: Net-Cp needs racks %d divisible by k+p=%d",
+				topo.Racks, params.Width())
+		}
+	case NetworkDp:
+		if topo.Racks < params.Width() {
+			return nil, fmt.Errorf("placement: Net-Dp needs ≥ k+p racks")
+		}
+	default:
+		return nil, fmt.Errorf("placement: unknown SLEC placement %v", pl)
+	}
+	return &SLECLayout{Topo: topo, Params: params, Placement: pl}, nil
+}
+
+// MustNewSLECLayout is NewSLECLayout but panics on error.
+func MustNewSLECLayout(topo topology.Config, params SLECParams, pl SLECPlacement) *SLECLayout {
+	l, err := NewSLECLayout(topo, params, pl)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// PoolSize returns the disks per pool for the local placements
+// (k+p for Cp, the enclosure for Dp). For network placements it returns
+// the per-rack footprint times the group width (Net-Cp) or the whole
+// system (Net-Dp).
+func (l *SLECLayout) PoolSize() int {
+	switch l.Placement {
+	case LocalCp:
+		return l.Params.Width()
+	case LocalDp:
+		return l.Topo.DisksPerEnclosure
+	case NetworkCp:
+		return l.Params.Width() * l.Topo.DisksPerRack()
+	default: // NetworkDp
+		return l.Topo.TotalDisks()
+	}
+}
+
+// TotalPools returns the number of pools system-wide.
+func (l *SLECLayout) TotalPools() int {
+	return l.Topo.TotalDisks() / l.PoolSize()
+}
+
+// StripesPerPool returns the stripe count of one pool at true chunk
+// granularity.
+func (l *SLECLayout) StripesPerPool() float64 {
+	poolBytes := float64(l.PoolSize()) * l.Topo.DiskCapacityBytes
+	return poolBytes / (float64(l.Params.Width()) * l.Topo.ChunkSizeBytes)
+}
+
+// TotalStripes returns the system-wide stripe count.
+func (l *SLECLayout) TotalStripes() float64 {
+	return l.StripesPerPool() * float64(l.TotalPools())
+}
+
+// LRCParams is a (k, l, r) LRC as in Section 5.2.
+type LRCParams struct {
+	K, L, R int
+}
+
+// String renders "(14,2,4)".
+func (p LRCParams) String() string { return fmt.Sprintf("(%d,%d,%d)", p.K, p.L, p.R) }
+
+// Width returns k+l+r.
+func (p LRCParams) Width() int { return p.K + p.L + p.R }
+
+// StorageOverhead returns (l+r)/k.
+func (p LRCParams) StorageOverhead() float64 { return float64(p.L+p.R) / float64(p.K) }
+
+// LRCLayout is the paper's LRC-Dp placement: every chunk of a stripe in a
+// separate rack, declustered across the whole system.
+type LRCLayout struct {
+	Topo   topology.Config
+	Params LRCParams
+}
+
+// NewLRCLayout validates that stripes fit across racks.
+func NewLRCLayout(topo topology.Config, params LRCParams) (*LRCLayout, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if params.K <= 0 || params.L <= 0 || params.R < 0 || params.K%params.L != 0 {
+		return nil, fmt.Errorf("placement: invalid LRC params %v", params)
+	}
+	if topo.Racks < params.Width() {
+		return nil, fmt.Errorf("placement: LRC-Dp needs ≥ k+l+r=%d racks, have %d",
+			params.Width(), topo.Racks)
+	}
+	return &LRCLayout{Topo: topo, Params: params}, nil
+}
+
+// MustNewLRCLayout is NewLRCLayout but panics on error.
+func MustNewLRCLayout(topo topology.Config, params LRCParams) *LRCLayout {
+	l, err := NewLRCLayout(topo, params)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// TotalStripes returns the system-wide LRC stripe count at chunk
+// granularity.
+func (l *LRCLayout) TotalStripes() float64 {
+	totalChunks := float64(l.Topo.TotalDisks()) * l.Topo.ChunksPerDisk()
+	return totalChunks / float64(l.Params.Width())
+}
+
+// Recoverable reports whether an LRC erasure pattern is decodable under
+// the Maximally Recoverable criterion for Azure-style LRCs: each local
+// group absorbs one failure via its local parity; every additional
+// failure consumes one global parity; global-parity failures also consume
+// globals. Formally, with failures_g counting lost data + local-parity
+// chunks in group g and gf counting lost global parities:
+//
+//	recoverable ⇔ Σ_g max(0, failures_g − 1) + gf ≤ r
+//
+// The lrc package's tests cross-validate this criterion against the
+// actual codec's rank computation on every pattern of small codes.
+func (p LRCParams) Recoverable(lostDataOrLocal []int, lostGlobals int) bool {
+	groupSize := p.K / p.L
+	perGroup := make([]int, p.L)
+	for _, idx := range lostDataOrLocal {
+		switch {
+		case idx < p.K:
+			perGroup[idx/groupSize]++
+		case idx < p.K+p.L:
+			perGroup[idx-p.K]++
+		default:
+			lostGlobals++
+		}
+	}
+	need := lostGlobals
+	for _, f := range perGroup {
+		if f > 1 {
+			need += f - 1
+		}
+	}
+	return need <= p.R
+}

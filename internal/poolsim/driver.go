@@ -1,0 +1,173 @@
+package poolsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlec/internal/failure"
+	"mlec/internal/sim"
+)
+
+// CatSample captures the pool state at the instant a catastrophic failure
+// occurred, for injection at the network level by the splitting package.
+type CatSample struct {
+	TimeHours   float64
+	FailedDisks int
+	LostStripes int
+	Profile     []int // stripe damage histogram (index = lost chunks)
+}
+
+// RunStats summarizes a long-run pool simulation.
+type RunStats struct {
+	SimYears          float64
+	DiskFailures      int
+	CatastrophicCount int
+	Samples           []CatSample
+	// MaxConcurrentFailures observed, a useful diagnostic.
+	MaxConcurrentFailures int
+}
+
+// CatRatePerPoolHour returns the observed catastrophic event rate.
+func (s RunStats) CatRatePerPoolHour() float64 {
+	if s.SimYears <= 0 {
+		return 0
+	}
+	return float64(s.CatastrophicCount) / (s.SimYears * failure.HoursPerYear)
+}
+
+// driver couples a Pool with an event engine, the failure process and the
+// priority repairer. The exported entry points are LongRun and the
+// splitting estimator in split.go.
+type driver struct {
+	pool   *Pool
+	eng    *sim.Engine
+	rng    *rand.Rand
+	ttf    failure.TTFDistribution
+	sample bool // record CatSamples
+
+	repairEv   *sim.Event
+	failEvents []*sim.Event // per-disk pending failure event
+
+	stats        RunStats
+	onCat        func()           // hook invoked on catastrophe (after recording)
+	onNewFailure func(d int) bool // optional; return false to suppress default handling
+	replay       bool             // trace replay: healed disks get no new failure clocks
+}
+
+func newDriver(pool *Pool, ttf failure.TTFDistribution, rng *rand.Rand) *driver {
+	return &driver{
+		pool:       pool,
+		eng:        sim.New(),
+		rng:        rng,
+		ttf:        ttf,
+		failEvents: make([]*sim.Event, pool.Cfg.Disks),
+	}
+}
+
+// scheduleFailure arms disk d's next failure.
+func (dr *driver) scheduleFailure(d int) {
+	dr.failEvents[d] = dr.eng.Schedule(dr.ttf.Sample(dr.rng), func() { dr.handleFailure(d) })
+}
+
+func (dr *driver) handleFailure(d int) {
+	dr.failEvents[d] = nil
+	if dr.onNewFailure != nil && !dr.onNewFailure(d) {
+		return
+	}
+	dr.failDiskNow(d)
+}
+
+// failDiskNow applies the failure, records catastrophes, schedules
+// detection, and replans repair.
+func (dr *driver) failDiskNow(d int) {
+	dr.stats.DiskFailures++
+	newlyLost := dr.pool.FailDisk(d)
+	if f := dr.pool.FailedDisks(); f > dr.stats.MaxConcurrentFailures {
+		dr.stats.MaxConcurrentFailures = f
+	}
+	if newlyLost > 0 {
+		dr.recordCatastrophe()
+		if dr.onCat != nil {
+			dr.onCat()
+		}
+		return
+	}
+	dr.eng.Schedule(dr.pool.Cfg.DetectionDelayHours, func() {
+		dr.pool.DetectDisk(d)
+		dr.replanRepair()
+	})
+}
+
+func (dr *driver) recordCatastrophe() {
+	dr.stats.CatastrophicCount++
+	if dr.sample {
+		dr.stats.Samples = append(dr.stats.Samples, CatSample{
+			TimeHours:   dr.eng.Now(),
+			FailedDisks: dr.pool.FailedDisks(),
+			LostStripes: dr.pool.LostStripes(),
+			Profile:     dr.pool.Profile(),
+		})
+	}
+}
+
+// replanRepair cancels any in-flight batch and schedules the completion
+// of the current top-priority batch at the current bandwidth.
+func (dr *driver) replanRepair() {
+	dr.eng.Cancel(dr.repairEv)
+	dr.repairEv = nil
+	batch := dr.pool.NextBatch()
+	if batch == nil {
+		return
+	}
+	bw := dr.pool.Cfg.RepairBW(dr.pool.DetectedDisks())
+	hours := batch.volumeBytes / bw / 3600
+	dr.repairEv = dr.eng.Schedule(hours, func() {
+		dr.repairEv = nil
+		healed := dr.pool.HealBatch(batch)
+		if !dr.replay {
+			for _, d := range healed {
+				dr.scheduleFailure(d)
+			}
+		}
+		dr.replanRepair()
+	})
+}
+
+// resetPool instantly heals everything and re-arms all failure clocks —
+// used after a catastrophic event in LongRun (the event is handed to the
+// network level; stage 1 only measures the pool's event rate).
+func (dr *driver) resetPool() {
+	dr.pool.HealAll()
+	for d := range dr.failEvents {
+		if dr.failEvents[d] != nil {
+			dr.eng.Cancel(dr.failEvents[d])
+		}
+		dr.scheduleFailure(d)
+	}
+	dr.eng.Cancel(dr.repairEv)
+	dr.repairEv = nil
+}
+
+// LongRun simulates one pool for the given number of years and returns
+// event statistics. After each catastrophic event the pool is reset (the
+// network level takes over in the full system; here we only measure the
+// pool-level rate).
+func LongRun(cfg Config, ttf failure.TTFDistribution, years float64, seed int64) (RunStats, error) {
+	pool, err := NewPool(cfg, seed)
+	if err != nil {
+		return RunStats{}, err
+	}
+	if years <= 0 {
+		return RunStats{}, fmt.Errorf("poolsim: years = %g", years)
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	dr := newDriver(pool, ttf, rng)
+	dr.sample = true
+	dr.onCat = dr.resetPool
+	for d := 0; d < cfg.Disks; d++ {
+		dr.scheduleFailure(d)
+	}
+	dr.eng.RunUntil(years * failure.HoursPerYear)
+	dr.stats.SimYears = years
+	return dr.stats, nil
+}

@@ -1,0 +1,283 @@
+package poolsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"mlec/internal/failure"
+	"mlec/internal/sim"
+)
+
+// SplitConfig controls the multilevel-splitting (RESTART) estimator of
+// the catastrophic-pool rate. Levels are defined by the number of
+// concurrently failed disks; level-i trajectories run until either a new
+// failure arrives (up-transition, possibly catastrophic) or the pool
+// heals completely (down).
+type SplitConfig struct {
+	// TrajectoriesPerLevel is the number of trajectories simulated at
+	// each level (default 20000).
+	TrajectoriesPerLevel int
+	// MaxLevel caps the cascade depth (default pl+3): contributions
+	// from deeper levels are O((λ·T_repair)^depth) smaller.
+	MaxLevel int
+	Seed     int64
+}
+
+// SplitResult is the splitting estimate.
+type SplitResult struct {
+	// LevelProbs[i] = P(a new failure arrives before full heal | the
+	// pool just entered i+1 concurrent failures), for i = 0, 1, ….
+	LevelProbs []float64
+	// CatFractions[i] = P(the up-transition out of level i+1 is
+	// catastrophic | entered level i+1).
+	CatFractions []float64
+	// CatRatePerPoolHour is the assembled catastrophic event rate.
+	CatRatePerPoolHour float64
+	// Samples holds pool states at (simulated) catastrophic events.
+	Samples []CatSample
+	// EntryShortfall reports levels where the previous level produced
+	// fewer distinct entry snapshots than trajectories (resampling with
+	// replacement was used).
+	EntryShortfall []int
+}
+
+// CatProbPerPoolYear converts the rate to an annual per-pool probability.
+func (r SplitResult) CatProbPerPoolYear() float64 {
+	return -math.Expm1(-r.CatRatePerPoolHour * failure.HoursPerYear)
+}
+
+// snapshot captures a trajectory-independent pool state at a level entry.
+type snapshot struct {
+	pool *Pool
+	// detectRemaining[d] = hours until disk d's failure is detected;
+	// only undetected failed disks appear.
+	detectRemaining map[int]float64
+}
+
+type trajectoryOutcome int
+
+const (
+	outcomeDown trajectoryOutcome = iota
+	outcomeUp
+	outcomeCat
+)
+
+// Split estimates the catastrophic-pool rate by multilevel splitting.
+// The failure process must be exponential (memoryless) — level
+// trajectories re-arm failure clocks at entry, which is only valid
+// without ageing.
+func Split(cfg Config, ttf failure.Exponential, sc SplitConfig) (SplitResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SplitResult{}, err
+	}
+	n := sc.TrajectoriesPerLevel
+	if n <= 0 {
+		n = 20000
+	}
+	maxLevel := sc.MaxLevel
+	if maxLevel <= 0 {
+		maxLevel = cfg.Parity + 3
+	}
+	if maxLevel < cfg.Parity+1 {
+		return SplitResult{}, fmt.Errorf("poolsim: MaxLevel %d below pl+1 = %d", maxLevel, cfg.Parity+1)
+	}
+	rng := rand.New(rand.NewSource(sc.Seed ^ 0x51717))
+	base, err := NewPool(cfg, sc.Seed)
+	if err != nil {
+		return SplitResult{}, err
+	}
+
+	res := SplitResult{}
+	// Level-1 entries: fresh pool with one random failed disk.
+	entries := make([]*snapshot, 0, n)
+	for i := 0; i < n; i++ {
+		p := base.Clone()
+		d := p.RandomHealthyDisk(rng)
+		p.FailDisk(d)
+		entries = append(entries, &snapshot{
+			pool:            p,
+			detectRemaining: map[int]float64{d: cfg.DetectionDelayHours},
+		})
+	}
+
+	weight := 1.0 // Π P_j over completed levels
+	lambda := ttf.RatePerHour
+	beta0 := float64(cfg.Disks) * lambda // rate of 0 → 1 transitions
+	var rate float64
+
+	for level := 1; level <= maxLevel && len(entries) > 0; level++ {
+		// Trajectories are independent given the entry set; run them on
+		// all CPUs. Per-trajectory RNGs are seeded by (level, index) so
+		// the result is identical regardless of scheduling.
+		type slot struct {
+			outcome trajectoryOutcome
+			next    *snapshot
+			cat     *CatSample
+		}
+		slots := make([]slot, n)
+		var wg sync.WaitGroup
+		workers := runtime.NumCPU()
+		if workers > n {
+			workers = n
+		}
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					trng := rand.New(rand.NewSource(sc.Seed ^ (int64(level) << 32) ^ int64(i)*0x9e3779b9))
+					entry := entries[trng.Intn(len(entries))]
+					outcome, next, catSample := runTrajectory(cfg, ttf, entry, trng)
+					slots[i] = slot{outcome, next, catSample}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+
+		var ups, cats int
+		nextEntries := make([]*snapshot, 0, n)
+		for i := 0; i < n; i++ {
+			switch slots[i].outcome {
+			case outcomeUp:
+				ups++
+				nextEntries = append(nextEntries, slots[i].next)
+			case outcomeCat:
+				ups++
+				cats++
+				if slots[i].cat != nil {
+					res.Samples = append(res.Samples, *slots[i].cat)
+				}
+			}
+		}
+		pUp := float64(ups) / float64(n)
+		catFrac := float64(cats) / float64(n)
+		pCont := float64(ups-cats) / float64(n)
+		res.LevelProbs = append(res.LevelProbs, pUp)
+		res.CatFractions = append(res.CatFractions, catFrac)
+		rate += weight * catFrac
+		weight *= pCont
+		if len(nextEntries) < n/10 {
+			res.EntryShortfall = append(res.EntryShortfall, level+1)
+		}
+		entries = nextEntries
+	}
+	res.CatRatePerPoolHour = beta0 * rate
+	return res, nil
+}
+
+// runTrajectory simulates from the entry snapshot until the pool heals
+// (down), a new failure arrives (up), or that failure is catastrophic.
+func runTrajectory(cfg Config, ttf failure.Exponential, entry *snapshot, rng *rand.Rand) (trajectoryOutcome, *snapshot, *CatSample) {
+	pool := entry.pool.Clone()
+	eng := sim.New()
+
+	var repairEv *sim.Event
+	var replan func()
+	replan = func() {
+		eng.Cancel(repairEv)
+		repairEv = nil
+		batch := pool.NextBatch()
+		if batch == nil {
+			return
+		}
+		bw := cfg.RepairBW(pool.DetectedDisks())
+		hours := batch.volumeBytes / bw / 3600
+		repairEv = eng.Schedule(hours, func() {
+			repairEv = nil
+			pool.HealBatch(batch)
+			replan()
+		})
+	}
+
+	detectAt := make(map[int]float64, len(entry.detectRemaining))
+	for d, rem := range entry.detectRemaining {
+		d := d
+		detectAt[d] = rem
+		eng.Schedule(rem, func() {
+			pool.DetectDisk(d)
+			replan()
+		})
+	}
+	replan()
+
+	// Aggregate next-failure clock: with (D − f) healthy disks and
+	// memoryless failures, the next arrival is Exp((D−f)λ); re-armed
+	// whenever f changes. Healing changes f only downward (more healthy
+	// disks), which we conservatively handle by re-arming inside the
+	// run loop below whenever the healthy count changed.
+	outcome := outcomeDown
+	var next *snapshot
+	var catSample *CatSample
+	decided := false
+
+	var failEv *sim.Event
+	armFailure := func() {
+		eng.Cancel(failEv)
+		healthy := cfg.Disks - pool.FailedDisks()
+		if healthy <= 0 {
+			failEv = nil
+			return
+		}
+		delay := rng.ExpFloat64() / (float64(healthy) * ttf.RatePerHour)
+		failEv = eng.Schedule(delay, func() {
+			failEv = nil
+			d := pool.RandomHealthyDisk(rng)
+			newlyLost := pool.FailDisk(d)
+			if newlyLost > 0 {
+				outcome = outcomeCat
+				catSample = &CatSample{
+					TimeHours:   eng.Now(),
+					FailedDisks: pool.FailedDisks(),
+					LostStripes: pool.LostStripes(),
+					Profile:     pool.Profile(),
+				}
+			} else {
+				outcome = outcomeUp
+				// Build the next-level entry snapshot.
+				rem := map[int]float64{d: cfg.DetectionDelayHours}
+				now := eng.Now()
+				for dd, at := range detectAt {
+					if pool.DiskState(dd) == int(diskFailedUndetected) && at > now {
+						rem[dd] = at - now
+					}
+				}
+				next = &snapshot{pool: pool.Clone(), detectRemaining: rem}
+			}
+			decided = true
+		})
+	}
+
+	lastHealthy := cfg.Disks - pool.FailedDisks()
+	armFailure()
+	for !decided {
+		if pool.Healthy() {
+			outcome = outcomeDown
+			break
+		}
+		if !eng.Step() {
+			// Queue drained without healing — cannot happen: a damaged
+			// pool always has a detection or repair event pending.
+			// Treat as down to fail safe.
+			outcome = outcomeDown
+			break
+		}
+		if h := cfg.Disks - pool.FailedDisks(); h != lastHealthy {
+			lastHealthy = h
+			if !decided {
+				armFailure()
+			}
+		}
+	}
+	return outcome, next, catSample
+}

@@ -1,0 +1,145 @@
+package rs
+
+import (
+	"fmt"
+	"io"
+)
+
+// StreamEncoder encodes an unbounded data stream into k data shard
+// streams plus p parity shard streams, stripe by stripe — the shape of a
+// storage server's ingest path (§2.1's "when user data arrive").
+//
+// Data is consumed in stripes of k·ChunkBytes; the final stripe is
+// zero-padded. Shard i's stream receives the concatenation of its chunks
+// across stripes.
+type StreamEncoder struct {
+	codec      *Codec
+	chunkBytes int
+}
+
+// NewStreamEncoder returns a streaming encoder with the given chunk size.
+func NewStreamEncoder(k, p, chunkBytes int) (*StreamEncoder, error) {
+	if chunkBytes <= 0 {
+		return nil, fmt.Errorf("rs: chunk size %d", chunkBytes)
+	}
+	c, err := New(k, p)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamEncoder{codec: c, chunkBytes: chunkBytes}, nil
+}
+
+// ChunkBytes returns the configured chunk size.
+func (e *StreamEncoder) ChunkBytes() int { return e.chunkBytes }
+
+// StripeBytes returns the user-data bytes consumed per stripe.
+func (e *StreamEncoder) StripeBytes() int { return e.codec.DataShards() * e.chunkBytes }
+
+// Encode reads src to EOF, encoding stripe by stripe into the k+p shard
+// writers. It returns the number of data bytes consumed. The final
+// partial stripe is zero-padded (callers persist the original length,
+// as Join does for Split).
+func (e *StreamEncoder) Encode(src io.Reader, shards []io.Writer) (int64, error) {
+	k, p := e.codec.DataShards(), e.codec.ParityShards()
+	if len(shards) != k+p {
+		return 0, fmt.Errorf("rs: got %d shard writers, want %d", len(shards), k+p)
+	}
+	buf := make([][]byte, k+p)
+	for i := range buf {
+		buf[i] = make([]byte, e.chunkBytes)
+	}
+	var total int64
+	for {
+		// Fill the k data chunks.
+		read := 0
+		for i := 0; i < k; i++ {
+			n, err := io.ReadFull(src, buf[i])
+			read += n
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				// Zero the remainder of this chunk and all later ones.
+				for j := n; j < e.chunkBytes; j++ {
+					buf[i][j] = 0
+				}
+				for ii := i + 1; ii < k; ii++ {
+					for j := range buf[ii] {
+						buf[ii][j] = 0
+					}
+				}
+				if read == 0 {
+					return total, nil // clean EOF on stripe boundary
+				}
+				total += int64(read)
+				if err := e.flushStripe(buf, shards); err != nil {
+					return total, err
+				}
+				return total, nil
+			}
+			if err != nil {
+				return total, err
+			}
+		}
+		total += int64(read)
+		if err := e.flushStripe(buf, shards); err != nil {
+			return total, err
+		}
+	}
+}
+
+func (e *StreamEncoder) flushStripe(buf [][]byte, shards []io.Writer) error {
+	if err := e.codec.Encode(buf); err != nil {
+		return err
+	}
+	for i, w := range shards {
+		if _, err := w.Write(buf[i]); err != nil {
+			return fmt.Errorf("rs: shard %d write: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Decode reconstructs the original data stream (of length dataLen) from
+// shard readers; nil entries mark unavailable shards. At least k shard
+// streams must be non-nil.
+func (e *StreamEncoder) Decode(dst io.Writer, shards []io.Reader, dataLen int64) error {
+	k, p := e.codec.DataShards(), e.codec.ParityShards()
+	if len(shards) != k+p {
+		return fmt.Errorf("rs: got %d shard readers, want %d", len(shards), k+p)
+	}
+	avail := 0
+	for _, r := range shards {
+		if r != nil {
+			avail++
+		}
+	}
+	if avail < k {
+		return ErrTooFewShards
+	}
+	remaining := dataLen
+	for remaining > 0 {
+		stripe := make([][]byte, k+p)
+		for i, r := range shards {
+			if r == nil {
+				continue
+			}
+			b := make([]byte, e.chunkBytes)
+			if _, err := io.ReadFull(r, b); err != nil {
+				return fmt.Errorf("rs: shard %d read: %w", i, err)
+			}
+			stripe[i] = b
+		}
+		if err := e.codec.ReconstructData(stripe); err != nil {
+			return err
+		}
+		for i := 0; i < k && remaining > 0; i++ {
+			n := int64(e.chunkBytes)
+			if n > remaining {
+				n = remaining
+			}
+			if _, err := dst.Write(stripe[i][:n]); err != nil {
+				return err
+			}
+			remaining -= n
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package rs
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func streamRoundTrip(t *testing.T, k, p, chunk, dataLen int, kill []int) {
+	t.Helper()
+	enc, err := NewStreamEncoder(k, p, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, dataLen)
+	rand.New(rand.NewSource(int64(dataLen))).Read(data)
+
+	sinks := make([]*bytes.Buffer, k+p)
+	writers := make([]io.Writer, k+p)
+	for i := range sinks {
+		sinks[i] = &bytes.Buffer{}
+		writers[i] = sinks[i]
+	}
+	n, err := enc.Encode(bytes.NewReader(data), writers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(dataLen) {
+		t.Fatalf("consumed %d bytes, want %d", n, dataLen)
+	}
+	// All shard streams must have equal, stripe-aligned length.
+	stripes := (dataLen + enc.StripeBytes() - 1) / enc.StripeBytes()
+	for i, s := range sinks {
+		if s.Len() != stripes*chunk {
+			t.Fatalf("shard %d has %d bytes, want %d", i, s.Len(), stripes*chunk)
+		}
+	}
+
+	readers := make([]io.Reader, k+p)
+	for i := range sinks {
+		readers[i] = bytes.NewReader(sinks[i].Bytes())
+	}
+	for _, i := range kill {
+		readers[i] = nil
+	}
+	var out bytes.Buffer
+	if err := enc.Decode(&out, readers, int64(dataLen)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("stream round trip mismatch")
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	// Exact stripe multiple, partial tail, tiny input; with and without
+	// erasures.
+	streamRoundTrip(t, 4, 2, 64, 4*64*3, nil)
+	streamRoundTrip(t, 4, 2, 64, 1000, nil)
+	streamRoundTrip(t, 4, 2, 64, 1, nil)
+	streamRoundTrip(t, 4, 2, 64, 1000, []int{0, 5})
+	streamRoundTrip(t, 10, 2, 128, 12345, []int{3, 11})
+	streamRoundTrip(t, 17, 3, 256, 100000, []int{0, 8, 19})
+}
+
+func TestStreamEncoderValidation(t *testing.T) {
+	if _, err := NewStreamEncoder(4, 2, 0); err == nil {
+		t.Error("chunk 0 accepted")
+	}
+	if _, err := NewStreamEncoder(0, 2, 64); err == nil {
+		t.Error("k=0 accepted")
+	}
+	enc, _ := NewStreamEncoder(2, 1, 8)
+	if _, err := enc.Encode(bytes.NewReader(nil), make([]io.Writer, 2)); err == nil {
+		t.Error("wrong writer count accepted")
+	}
+	if err := enc.Decode(io.Discard, make([]io.Reader, 2), 1); err == nil {
+		t.Error("wrong reader count accepted")
+	}
+	// Too many nil shards.
+	if err := enc.Decode(io.Discard, make([]io.Reader, 3), 1); err != ErrTooFewShards {
+		t.Errorf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestStreamEmptyInput(t *testing.T) {
+	enc, _ := NewStreamEncoder(3, 1, 16)
+	writers := make([]io.Writer, 4)
+	for i := range writers {
+		writers[i] = io.Discard
+	}
+	n, err := enc.Encode(bytes.NewReader(nil), writers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("consumed %d bytes from empty input", n)
+	}
+}
+
+func TestStreamMatchesBlockEncoder(t *testing.T) {
+	// The streaming encoder's shard bytes must equal the block
+	// encoder's on a stripe-aligned input.
+	const k, p, chunk = 5, 2, 32
+	enc, _ := NewStreamEncoder(k, p, chunk)
+	data := make([]byte, k*chunk)
+	rand.New(rand.NewSource(9)).Read(data)
+
+	sinks := make([]*bytes.Buffer, k+p)
+	writers := make([]io.Writer, k+p)
+	for i := range sinks {
+		sinks[i] = &bytes.Buffer{}
+		writers[i] = sinks[i]
+	}
+	if _, err := enc.Encode(bytes.NewReader(data), writers); err != nil {
+		t.Fatal(err)
+	}
+
+	codec := MustNew(k, p)
+	shards := make([][]byte, k+p)
+	for i := 0; i < k; i++ {
+		shards[i] = data[i*chunk : (i+1)*chunk]
+	}
+	for i := k; i < k+p; i++ {
+		shards[i] = make([]byte, chunk)
+	}
+	if err := codec.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(sinks[i].Bytes(), shards[i]) {
+			t.Fatalf("shard %d differs between stream and block encoders", i)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package splitting implements stage 2 of the paper's splitting
+// methodology (§3): composing the stage-1 catastrophic-local-pool rate
+// (from poolsim, or the Markov model for R_ALL verification) with the
+// network level to estimate system durability — the paper's Figure 10 and
+// the durability axes of Figures 12 and 15.
+//
+// Composition: catastrophic pool events arrive per pool at rate λ and
+// keep the pool in the catastrophic state for a repair-method-dependent
+// window W (repair.CatastrophicWindowHours plus detection). Data is lost
+// when p_n+1 pools overlap in the catastrophic state within one network
+// pool (network-clustered) or across distinct racks (network-
+// declustered), and the overlapping pools' actually-lost stripes align
+// into one network stripe — probability 1 under R_ALL's whole-pool view,
+// and the exact Poisson-binomial/hypergeometric value when the repairer
+// knows the lost chunks (R_FCO and better).
+package splitting
+
+import (
+	"fmt"
+
+	"mlec/internal/burst"
+	"mlec/internal/failure"
+	"mlec/internal/mathx"
+	"mlec/internal/placement"
+	"mlec/internal/poolsim"
+	"mlec/internal/repair"
+)
+
+// Stage1 summarizes the local-pool behaviour feeding the network level.
+type Stage1 struct {
+	// CatRatePerPoolHour is the catastrophic-event rate of one pool.
+	CatRatePerPoolHour float64
+	// FailedDisksAtCat is the typical number of failed disks at the
+	// catastrophic instant (pl+1 unless samples say otherwise).
+	FailedDisksAtCat int
+	// LostStripeFraction is φ: the fraction of the pool's stripes that
+	// are actually lost at the catastrophic instant.
+	LostStripeFraction float64
+}
+
+// Stage1FromSplit derives Stage1 from a poolsim splitting run.
+func Stage1FromSplit(cfg poolsim.Config, res poolsim.SplitResult) Stage1 {
+	s := Stage1{
+		CatRatePerPoolHour: res.CatRatePerPoolHour,
+		FailedDisksAtCat:   cfg.Parity + 1,
+	}
+	if len(res.Samples) > 0 {
+		var fd, lost float64
+		for _, smp := range res.Samples {
+			fd += float64(smp.FailedDisks)
+			lost += float64(smp.LostStripes)
+		}
+		s.FailedDisksAtCat = int(fd/float64(len(res.Samples)) + 0.5)
+		s.LostStripeFraction = lost / float64(len(res.Samples)) / float64(cfg.Stripes())
+	} else {
+		s.LostStripeFraction = analyticPhi(cfg, s.FailedDisksAtCat)
+	}
+	if s.LostStripeFraction <= 0 {
+		s.LostStripeFraction = analyticPhi(cfg, s.FailedDisksAtCat)
+	}
+	return s
+}
+
+// analyticPhi is the burst-injection φ at true chunk granularity.
+func analyticPhi(cfg poolsim.Config, failed int) float64 {
+	if cfg.Clustered {
+		return 1
+	}
+	return mathx.HypergeomTail(cfg.Parity+1, failed, cfg.Disks, cfg.Width)
+}
+
+// Stage1Analytic derives Stage1 from the R_ALL Markov view: catastrophic
+// means pl+1 concurrent failures and the whole pool counts as lost.
+func Stage1Analytic(catRatePerPoolHour float64, pl int) Stage1 {
+	return Stage1{
+		CatRatePerPoolHour: catRatePerPoolHour,
+		FailedDisksAtCat:   pl + 1,
+		LostStripeFraction: 1,
+	}
+}
+
+// Result is one durability estimate.
+type Result struct {
+	Scheme placement.Scheme
+	Method repair.Method
+
+	CatRatePerPoolHour float64
+	WindowHours        float64 // catastrophic-state duration per event
+	LossGivenOverlap   float64 // P(lost network stripe | pn+1 overlap)
+	LossRatePerHour    float64
+	AnnualPDL          float64
+	Nines              float64
+}
+
+// Durability composes stage 1 with the network level for one scheme and
+// repair method, using the paper's 30-minute detection delay.
+func Durability(l *placement.Layout, method repair.Method, s1 Stage1) (Result, error) {
+	return DurabilityDetect(l, method, s1, failure.DefaultDetectionDelayHours)
+}
+
+// DurabilityDetect is Durability with an explicit failure-detection
+// delay — the ablation knob of §4.2.3 F#3 and §5.2.2.
+func DurabilityDetect(l *placement.Layout, method repair.Method, s1 Stage1, detectHours float64) (Result, error) {
+	if s1.CatRatePerPoolHour < 0 {
+		return Result{}, fmt.Errorf("splitting: negative catastrophic rate")
+	}
+	if detectHours < 0 {
+		return Result{}, fmt.Errorf("splitting: negative detection delay")
+	}
+	an := repair.NewAnalyzer(l)
+	window := an.CatastrophicWindowHours(method) + detectHours
+
+	// φ visible to the network repairer: R_ALL cannot see inside the
+	// pool and must treat everything as lost.
+	phi := s1.LostStripeFraction
+	if method == repair.RAll {
+		phi = 1
+	}
+	pn := l.Params.PN
+	phis := make([]float64, pn+1)
+	for i := range phis {
+		phis[i] = phi
+	}
+	var lossGivenOverlap float64
+	var overlapRate float64
+	if l.Scheme.Network == placement.Clustered {
+		lossGivenOverlap = burst.LossGivenAlignedCatPools(l, phis)
+		perPool := mathx.PoissonOverlapRate(l.Params.NetworkWidth(), s1.CatRatePerPoolHour, window, pn+1)
+		overlapRate = perPool * float64(l.TotalNetworkPools())
+	} else {
+		lossGivenOverlap = burst.LossGivenScatteredCatPools(l, phis)
+		overlapRate = mathx.PoissonOverlapRate(l.TotalLocalPools(), s1.CatRatePerPoolHour, window, pn+1)
+		// Distinct-rack correction: the pn+1 overlapping pools must sit
+		// in different racks for a network stripe to touch them all.
+		overlapRate *= distinctRackFactor(l, pn+1)
+	}
+	lossRate := overlapRate * lossGivenOverlap
+	return Result{
+		Scheme:             l.Scheme,
+		Method:             method,
+		CatRatePerPoolHour: s1.CatRatePerPoolHour,
+		WindowHours:        window,
+		LossGivenOverlap:   lossGivenOverlap,
+		LossRatePerHour:    lossRate,
+		AnnualPDL:          mathx.RateToAnnualPDL(lossRate),
+		Nines:              mathx.Nines(mathx.RateToAnnualPDL(lossRate)),
+	}, nil
+}
+
+// distinctRackFactor returns P(m uniformly chosen distinct pools sit in m
+// distinct racks).
+func distinctRackFactor(l *placement.Layout, m int) float64 {
+	total := l.TotalLocalPools()
+	ppr := l.LocalPoolsPerRack()
+	p := 1.0
+	for i := 1; i < m; i++ {
+		// After picking i pools in i distinct racks, the next pool must
+		// avoid those racks' remaining pools.
+		avoid := float64(i * (ppr - 1))
+		p *= 1 - avoid/float64(total-i)
+	}
+	return p
+}
+
+// Fig10Row pairs a scheme with its per-method durability results.
+type Fig10Row struct {
+	Scheme  placement.Scheme
+	Results [4]Result // indexed by repair.Method
+}
+
+// Fig10 computes durability for all four schemes × four repair methods.
+// Stage-1 rates are estimated once per local placement kind (clustered/
+// declustered pools behave identically across network schemes).
+func Fig10(layouts map[placement.Scheme]*placement.Layout,
+	stage1ByLocal map[placement.Kind]Stage1) ([]Fig10Row, error) {
+	rows := make([]Fig10Row, 0, len(placement.AllSchemes))
+	for _, s := range placement.AllSchemes {
+		l, ok := layouts[s]
+		if !ok {
+			return nil, fmt.Errorf("splitting: missing layout for %v", s)
+		}
+		s1, ok := stage1ByLocal[s.Local]
+		if !ok {
+			return nil, fmt.Errorf("splitting: missing stage-1 for local kind %v", s.Local)
+		}
+		row := Fig10Row{Scheme: s}
+		for _, m := range repair.AllMethods {
+			r, err := Durability(l, m, s1)
+			if err != nil {
+				return nil, err
+			}
+			row.Results[int(m)] = r
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

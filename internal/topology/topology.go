@@ -1,0 +1,130 @@
+// Package topology models the physical layout of the simulated datacenter:
+// racks containing enclosures containing disks, plus the bandwidth budget
+// available for repairs.
+//
+// The default configuration mirrors the paper's Section 3 setup: 60 racks,
+// 8 enclosures per rack, 120 disks per enclosure (57,600 disks), 20 TB per
+// disk, 128 KiB chunks, 200 MB/s per-disk bandwidth and 10 Gbps per-rack
+// cross-rack bandwidth, both throttled to 20 % for repair traffic.
+package topology
+
+import "fmt"
+
+// Byte sizes. The storage industry (and the paper) uses decimal units for
+// capacities, so TB here is 1e12 bytes.
+const (
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+	TB = 1e12
+)
+
+// Config describes a datacenter.
+type Config struct {
+	Racks             int     // number of racks
+	EnclosuresPerRack int     // enclosures (RBODs) per rack
+	DisksPerEnclosure int     // disks per enclosure
+	DiskCapacityBytes float64 // bytes per disk
+	ChunkSizeBytes    float64 // EC chunk size
+
+	// DiskBandwidth is the raw per-disk throughput in bytes/second.
+	DiskBandwidth float64
+	// RackBandwidth is the raw per-rack cross-rack network throughput
+	// in bytes/second.
+	RackBandwidth float64
+	// RepairFraction caps the share of raw disk and network bandwidth
+	// usable by repair traffic (the paper uses 0.20).
+	RepairFraction float64
+}
+
+// Default returns the paper's Section 3 datacenter setup.
+func Default() Config {
+	return Config{
+		Racks:             60,
+		EnclosuresPerRack: 8,
+		DisksPerEnclosure: 120,
+		DiskCapacityBytes: 20 * TB,
+		ChunkSizeBytes:    128 * KB,
+		DiskBandwidth:     200 * MB,
+		RackBandwidth:     10e9 / 8, // 10 Gbps in bytes/s
+		RepairFraction:    0.20,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Racks <= 0:
+		return fmt.Errorf("topology: Racks = %d", c.Racks)
+	case c.EnclosuresPerRack <= 0:
+		return fmt.Errorf("topology: EnclosuresPerRack = %d", c.EnclosuresPerRack)
+	case c.DisksPerEnclosure <= 0:
+		return fmt.Errorf("topology: DisksPerEnclosure = %d", c.DisksPerEnclosure)
+	case c.DiskCapacityBytes <= 0:
+		return fmt.Errorf("topology: DiskCapacityBytes = %g", c.DiskCapacityBytes)
+	case c.ChunkSizeBytes <= 0 || c.ChunkSizeBytes > c.DiskCapacityBytes:
+		return fmt.Errorf("topology: ChunkSizeBytes = %g", c.ChunkSizeBytes)
+	case c.DiskBandwidth <= 0:
+		return fmt.Errorf("topology: DiskBandwidth = %g", c.DiskBandwidth)
+	case c.RackBandwidth <= 0:
+		return fmt.Errorf("topology: RackBandwidth = %g", c.RackBandwidth)
+	case c.RepairFraction <= 0 || c.RepairFraction > 1:
+		return fmt.Errorf("topology: RepairFraction = %g", c.RepairFraction)
+	}
+	return nil
+}
+
+// DisksPerRack returns the disk count in one rack.
+func (c Config) DisksPerRack() int { return c.EnclosuresPerRack * c.DisksPerEnclosure }
+
+// TotalDisks returns the system-wide disk count.
+func (c Config) TotalDisks() int { return c.Racks * c.DisksPerRack() }
+
+// TotalEnclosures returns the system-wide enclosure count.
+func (c Config) TotalEnclosures() int { return c.Racks * c.EnclosuresPerRack }
+
+// TotalCapacityBytes returns the raw system capacity.
+func (c Config) TotalCapacityBytes() float64 {
+	return float64(c.TotalDisks()) * c.DiskCapacityBytes
+}
+
+// DiskRepairBandwidth returns the per-disk bandwidth available to repair
+// (raw × RepairFraction). With the defaults: 40 MB/s.
+func (c Config) DiskRepairBandwidth() float64 { return c.DiskBandwidth * c.RepairFraction }
+
+// RackRepairBandwidth returns the per-rack cross-rack bandwidth available
+// to repair. With the defaults: 250 MB/s.
+func (c Config) RackRepairBandwidth() float64 { return c.RackBandwidth * c.RepairFraction }
+
+// ChunksPerDisk returns how many chunks fit on one disk.
+func (c Config) ChunksPerDisk() float64 { return c.DiskCapacityBytes / c.ChunkSizeBytes }
+
+// DiskID identifies a disk by its physical coordinates.
+type DiskID struct {
+	Rack, Enclosure, Disk int
+}
+
+// String renders the ID in the paper's R/E/D notation.
+func (d DiskID) String() string {
+	return fmt.Sprintf("R%d.E%d.D%d", d.Rack, d.Enclosure, d.Disk)
+}
+
+// Index flattens the ID to a dense [0, TotalDisks) index.
+func (c Config) Index(id DiskID) int {
+	return (id.Rack*c.EnclosuresPerRack+id.Enclosure)*c.DisksPerEnclosure + id.Disk
+}
+
+// DiskIDOf inverts Index.
+func (c Config) DiskIDOf(index int) DiskID {
+	d := index % c.DisksPerEnclosure
+	e := (index / c.DisksPerEnclosure) % c.EnclosuresPerRack
+	r := index / c.DisksPerEnclosure / c.EnclosuresPerRack
+	return DiskID{Rack: r, Enclosure: e, Disk: d}
+}
+
+// RackOf returns the rack of a flat disk index.
+func (c Config) RackOf(index int) int { return index / c.DisksPerRack() }
+
+// EnclosureIndexOf returns the flat enclosure index [0, TotalEnclosures)
+// of a flat disk index.
+func (c Config) EnclosureIndexOf(index int) int { return index / c.DisksPerEnclosure }

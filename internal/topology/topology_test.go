@@ -1,0 +1,110 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesPaperSetup(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalDisks(); got != 57600 {
+		t.Errorf("TotalDisks = %d, want 57600", got)
+	}
+	if got := c.DisksPerRack(); got != 960 {
+		t.Errorf("DisksPerRack = %d, want 960", got)
+	}
+	if got := c.TotalEnclosures(); got != 480 {
+		t.Errorf("TotalEnclosures = %d, want 480", got)
+	}
+	if got := c.DiskRepairBandwidth(); got != 40*MB {
+		t.Errorf("DiskRepairBandwidth = %g, want 40 MB/s", got)
+	}
+	if got := c.RackRepairBandwidth(); got != 250*MB {
+		t.Errorf("RackRepairBandwidth = %g, want 250 MB/s", got)
+	}
+	if got := c.TotalCapacityBytes(); got != 57600*20*TB {
+		t.Errorf("TotalCapacityBytes = %g", got)
+	}
+	if got := c.ChunksPerDisk(); got != 20*TB/(128*KB) {
+		t.Errorf("ChunksPerDisk = %g", got)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mods := []func(*Config){
+		func(c *Config) { c.Racks = 0 },
+		func(c *Config) { c.EnclosuresPerRack = -1 },
+		func(c *Config) { c.DisksPerEnclosure = 0 },
+		func(c *Config) { c.DiskCapacityBytes = 0 },
+		func(c *Config) { c.ChunkSizeBytes = 0 },
+		func(c *Config) { c.ChunkSizeBytes = c.DiskCapacityBytes * 2 },
+		func(c *Config) { c.DiskBandwidth = 0 },
+		func(c *Config) { c.RackBandwidth = -5 },
+		func(c *Config) { c.RepairFraction = 0 },
+		func(c *Config) { c.RepairFraction = 1.5 },
+	}
+	for i, mod := range mods {
+		c := Default()
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mod %d: Validate accepted invalid config", i)
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	c := Default()
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		id := DiskID{
+			Rack:      rng.Intn(c.Racks),
+			Enclosure: rng.Intn(c.EnclosuresPerRack),
+			Disk:      rng.Intn(c.DisksPerEnclosure),
+		}
+		idx := c.Index(id)
+		if idx < 0 || idx >= c.TotalDisks() {
+			return false
+		}
+		back := c.DiskIDOf(idx)
+		return back == id &&
+			c.RackOf(idx) == id.Rack &&
+			c.EnclosureIndexOf(idx) == id.Rack*c.EnclosuresPerRack+id.Enclosure
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexDense(t *testing.T) {
+	// The mapping must be a bijection onto [0, TotalDisks).
+	c := Config{
+		Racks: 3, EnclosuresPerRack: 2, DisksPerEnclosure: 4,
+		DiskCapacityBytes: TB, ChunkSizeBytes: KB,
+		DiskBandwidth: MB, RackBandwidth: MB, RepairFraction: 0.2,
+	}
+	seen := make(map[int]bool)
+	for r := 0; r < 3; r++ {
+		for e := 0; e < 2; e++ {
+			for d := 0; d < 4; d++ {
+				idx := c.Index(DiskID{r, e, d})
+				if seen[idx] {
+					t.Fatalf("duplicate index %d", idx)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+	if len(seen) != c.TotalDisks() {
+		t.Fatalf("covered %d indices, want %d", len(seen), c.TotalDisks())
+	}
+}
+
+func TestDiskIDString(t *testing.T) {
+	id := DiskID{Rack: 2, Enclosure: 1, Disk: 17}
+	if got := id.String(); got != "R2.E1.D17" {
+		t.Errorf("String = %q", got)
+	}
+}

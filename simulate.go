@@ -1,0 +1,66 @@
+package mlec
+
+import (
+	"mlec/internal/failure"
+	"mlec/internal/syssim"
+)
+
+// SimulationConfig drives a full-system discrete-event simulation: every
+// local pool of the datacenter simulated concurrently, with disk
+// failures, detection delay, priority local rebuild, network-level repair
+// under the chosen method, and exact network-stripe loss accounting.
+type SimulationConfig struct {
+	Topology Topology
+	Params   Params
+	Scheme   Scheme
+	Method   RepairMethod
+	// AFR is the annual disk failure rate (default 0.01).
+	AFR float64
+	// SegmentsPerDisk sets the simulation granularity (default 60
+	// stripe-chunks per disk; repair times scale to real bytes).
+	SegmentsPerDisk int
+	// DetectionDelayHours defaults to the paper's 30 minutes.
+	DetectionDelayHours float64
+}
+
+// SimulationStats summarizes a full-system run.
+type SimulationStats struct {
+	SimYears             float64
+	DiskFailures         int
+	CatastrophicEvents   int
+	DataLossEvents       int
+	CrossRackRepairBytes float64
+}
+
+// Simulate runs the full-system simulator for the given number of years.
+// At the paper's 1% AFR a 57,600-disk, 25-year run completes in under a
+// second; crank AFR up (or the topology down) to make rare events
+// observable directly.
+func Simulate(cfg SimulationConfig, years float64, seed int64) (SimulationStats, error) {
+	if cfg.AFR <= 0 || cfg.AFR >= 1 {
+		cfg.AFR = 0.01
+	}
+	ttf, err := failure.NewExponentialAFR(cfg.AFR)
+	if err != nil {
+		return SimulationStats{}, err
+	}
+	stats, err := syssim.Run(syssim.Config{
+		Topo:                cfg.Topology,
+		Params:              cfg.Params,
+		Scheme:              cfg.Scheme,
+		Method:              cfg.Method,
+		SegmentsPerDisk:     cfg.SegmentsPerDisk,
+		TTF:                 ttf,
+		DetectionDelayHours: cfg.DetectionDelayHours,
+	}, years, seed)
+	if err != nil {
+		return SimulationStats{}, err
+	}
+	return SimulationStats{
+		SimYears:             stats.SimYears,
+		DiskFailures:         stats.DiskFailures,
+		CatastrophicEvents:   stats.CatastrophicEvents,
+		DataLossEvents:       stats.DataLossEvents,
+		CrossRackRepairBytes: stats.CrossRackRepairBytes,
+	}, nil
+}
