@@ -1,0 +1,31 @@
+# Development entry points. `make check` is the full gate CI runs.
+
+GO ?= go
+
+# Packages with worker pools / goroutine fan-out: the race-detector set.
+RACE_PKGS = ./internal/burst ./internal/poolsim ./internal/rs ./internal/syssim ./internal/cluster
+
+.PHONY: check build vet lint test race bench
+
+## check: build + vet + mlecvet + tests + race tests — the CI gate.
+check: build vet lint test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+## lint: the repository's own static-analysis suite (see internal/lint).
+lint:
+	$(GO) run ./cmd/mlecvet ./...
+
+test:
+	$(GO) test ./...
+
+## race: race-detect the concurrent simulator packages.
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -49,7 +49,10 @@ func AnalyzeRepair(topo Topology, params Params, scheme Scheme) ([]RepairCost, e
 	an := repair.NewAnalyzer(l)
 	out := make([]RepairCost, 0, len(repair.AllMethods))
 	for _, m := range repair.AllMethods {
-		a := an.AnalyzeBurst(m)
+		a, err := an.AnalyzeBurst(m)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, RepairCost{
 			Method:                m,
 			CrossRackTrafficBytes: a.CrossRackTrafficBytes,

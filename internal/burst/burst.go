@@ -199,12 +199,16 @@ func PDL(ev Evaluator, x, y, trials int, seed int64) (Result, error) {
 	if workers > trials {
 		workers = trials
 	}
-	var (
-		mu        sync.Mutex
+	// Each worker owns a slot; the reduction below runs in worker order
+	// after the barrier. Merging under a mutex in completion order would
+	// make the float sums depend on goroutine scheduling (float addition
+	// is not associative) and break run-to-run reproducibility.
+	type partial struct {
 		sum, sum2 float64
-		done      int
-		firstErr  error
-	)
+		n         int
+		err       error
+	}
+	parts := make([]partial, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		share := trials / workers
@@ -218,33 +222,32 @@ func PDL(ev Evaluator, x, y, trials int, seed int64) (Result, error) {
 		go func(w, share int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed ^ int64(w)*0x9e3779b97f4a7c ^ int64(x)<<20 ^ int64(y)))
-			var lsum, lsum2 float64
-			n := 0
+			p := &parts[w]
 			for i := 0; i < share; i++ {
 				layout, err := SampleLayout(rng, ev.TotalRacks(), ev.DisksPerRack(), x, y)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					p.err = err
 					return
 				}
-				p := ev.ConditionalPDL(layout)
-				lsum += p
-				lsum2 += p * p
-				n++
+				pdl := ev.ConditionalPDL(layout)
+				p.sum += pdl
+				p.sum2 += pdl * pdl
+				p.n++
 			}
-			mu.Lock()
-			sum += lsum
-			sum2 += lsum2
-			done += n
-			mu.Unlock()
 		}(w, share)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return Result{}, firstErr
+	var (
+		sum, sum2 float64
+		done      int
+	)
+	for w := range parts {
+		if parts[w].err != nil {
+			return Result{}, parts[w].err
+		}
+		sum += parts[w].sum
+		sum2 += parts[w].sum2
+		done += parts[w].n
 	}
 	mean := sum / float64(done)
 	variance := sum2/float64(done) - mean*mean

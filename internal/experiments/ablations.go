@@ -176,11 +176,19 @@ func AblationStripeWidth(_ Options) (*AblationStripeWidthResult, error) {
 		}
 		an := repair.NewAnalyzer(l)
 		prof := repair.BurstProfile(l, params.PL+1)
+		hyb, err := an.AnalyzeBurst(repair.RHYB)
+		if err != nil {
+			return nil, err
+		}
+		min, err := an.AnalyzeBurst(repair.RMin)
+		if err != nil {
+			return nil, err
+		}
 		res.Points = append(res.Points, StripeWidthPoint{
 			Params:             params,
 			LostStripeFraction: prof[params.PL+1] / l.LocalStripesPerPool(),
-			RHYBTrafficBytes:   an.AnalyzeBurst(repair.RHYB).CrossRackTrafficBytes,
-			RMINTrafficBytes:   an.AnalyzeBurst(repair.RMin).CrossRackTrafficBytes,
+			RHYBTrafficBytes:   hyb.CrossRackTrafficBytes,
+			RMINTrafficBytes:   min.CrossRackTrafficBytes,
 		})
 	}
 	return res, nil

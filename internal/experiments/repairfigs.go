@@ -68,7 +68,11 @@ func Fig8(_ Options) (*Fig8Result, error) {
 		an := repair.NewAnalyzer(l)
 		row := Fig8Row{Scheme: s}
 		for _, m := range repair.AllMethods {
-			row.Traffic[int(m)] = an.AnalyzeBurst(m).CrossRackTrafficBytes
+			a, err := an.AnalyzeBurst(m)
+			if err != nil {
+				return nil, err
+			}
+			row.Traffic[int(m)] = a.CrossRackTrafficBytes
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -109,7 +113,11 @@ func Fig9(_ Options) (*Fig9Result, error) {
 		an := repair.NewAnalyzer(l)
 		row := Fig9Row{Scheme: s}
 		for _, m := range repair.AllMethods {
-			row.Analyses[int(m)] = an.AnalyzeBurst(m)
+			a, err := an.AnalyzeBurst(m)
+			if err != nil {
+				return nil, err
+			}
+			row.Analyses[int(m)] = a
 		}
 		res.Rows = append(res.Rows, row)
 	}

@@ -9,8 +9,6 @@
 // which is the scalar analogue of the SIMD shuffle kernels in ISA-L.
 package gf256
 
-import "fmt"
-
 // Poly is the primitive polynomial generating the field, with the x^8 term
 // removed (0x11d & 0xff plus the carry handling in genTables).
 const Poly = 0x1d
@@ -64,9 +62,11 @@ func Mul(a, b byte) byte {
 	return expTable[int(logTable[a])+int(logTable[b])]
 }
 
-// Div returns a/b in GF(2^8). It panics if b is zero.
+// Div returns a/b in GF(2^8). It panics if b is zero, mirroring the
+// semantics of Go's built-in integer division.
 func Div(a, b byte) byte {
 	if b == 0 {
+		//lint:allow nakedpanic division by zero mirrors built-in integer division semantics
 		panic("gf256: division by zero")
 	}
 	if a == 0 {
@@ -75,26 +75,32 @@ func Div(a, b byte) byte {
 	return expTable[int(logTable[a])+255-int(logTable[b])]
 }
 
-// Inv returns the multiplicative inverse of a. It panics if a is zero.
+// Inv returns the multiplicative inverse of a. It panics if a is zero,
+// mirroring the semantics of Go's built-in integer division.
 func Inv(a byte) byte {
 	if a == 0 {
+		//lint:allow nakedpanic inverse of zero mirrors built-in integer division semantics
 		panic("gf256: inverse of zero")
 	}
 	return inverse[a]
 }
 
-// Exp returns g^n for the field generator g=2. n may be any non-negative
-// integer; it is reduced mod 255.
+// Exp returns g^n for the field generator g=2. n may be any integer;
+// it is reduced mod 255 (the multiplicative group order), so negative
+// exponents denote inverse powers: Exp(-n) == Inv(Exp(n)).
 func Exp(n int) byte {
+	n %= 255
 	if n < 0 {
-		panic(fmt.Sprintf("gf256: negative exponent %d", n))
+		n += 255
 	}
-	return expTable[n%255]
+	return expTable[n]
 }
 
-// Log returns log_g(a). It panics if a is zero.
+// Log returns log_g(a). It panics if a is zero (zero is not in the
+// multiplicative group), mirroring built-in integer division semantics.
 func Log(a byte) int {
 	if a == 0 {
+		//lint:allow nakedpanic log of zero mirrors built-in integer division semantics
 		panic("gf256: log of zero")
 	}
 	return int(logTable[a])
@@ -109,6 +115,7 @@ func MulTable(c byte) *[256]byte { return &mulTable[c] }
 // same length; they may alias.
 func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
+		//lint:allow nakedpanic hot-kernel precondition; the bounds-check analogue for mismatched shard geometry
 		panic("gf256: MulSlice length mismatch")
 	}
 	if c == 0 {
@@ -143,6 +150,7 @@ func MulSlice(c byte, src, dst []byte) {
 // encode kernel (one matrix coefficient applied to one data shard).
 func MulAddSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
+		//lint:allow nakedpanic hot-kernel precondition; the bounds-check analogue for mismatched shard geometry
 		panic("gf256: MulAddSlice length mismatch")
 	}
 	if c == 0 {
@@ -172,6 +180,7 @@ func MulAddSlice(c byte, src, dst []byte) {
 // XorSlice sets dst[i] ^= src[i] for all i, using word-wide XOR.
 func XorSlice(src, dst []byte) {
 	if len(src) != len(dst) {
+		//lint:allow nakedpanic hot-kernel precondition; the bounds-check analogue for mismatched shard geometry
 		panic("gf256: XorSlice length mismatch")
 	}
 	i := 0

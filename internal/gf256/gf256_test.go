@@ -190,11 +190,14 @@ func TestMulTableRow(t *testing.T) {
 	}
 }
 
-func TestExpNegativePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Exp(-1) did not panic")
+func TestExpNegative(t *testing.T) {
+	// Negative exponents denote inverse powers: Exp(-n) == Inv(Exp(n)).
+	for n := 0; n < 300; n++ {
+		if got, want := Exp(-n), Inv(Exp(n)); got != want {
+			t.Fatalf("Exp(%d) = %d, want Inv(Exp(%d)) = %d", -n, got, n, want)
 		}
-	}()
-	Exp(-1)
+	}
+	if Exp(-255) != Exp(0) {
+		t.Fatal("Exp is not periodic mod 255 for negative exponents")
+	}
 }

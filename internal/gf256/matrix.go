@@ -11,9 +11,13 @@ type Matrix struct {
 	Data       []byte // len == Rows*Cols
 }
 
-// NewMatrix returns a zero Rows×Cols matrix.
+// NewMatrix returns a zero Rows×Cols matrix. It panics on non-positive
+// shapes: every caller derives shapes from already-validated code
+// parameters, so a bad shape is a corrupted-invariant bug, not an input
+// error.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows <= 0 || cols <= 0 {
+		//lint:allow nakedpanic shapes derive from validated code parameters; a bad shape is a corrupted invariant
 		panic(fmt.Sprintf("gf256: invalid matrix shape %dx%d", rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
@@ -44,9 +48,11 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
-// Mul returns the matrix product m·other.
+// Mul returns the matrix product m·other. Mismatched inner dimensions
+// panic: operand shapes derive from validated code parameters.
 func (m *Matrix) Mul(other *Matrix) *Matrix {
 	if m.Cols != other.Rows {
+		//lint:allow nakedpanic shapes derive from validated code parameters; a mismatch is a corrupted invariant
 		panic(fmt.Sprintf("gf256: matrix size mismatch %dx%d · %dx%d",
 			m.Rows, m.Cols, other.Rows, other.Cols))
 	}
@@ -83,10 +89,11 @@ func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) *Matrix {
 var ErrSingular = errors.New("gf256: matrix is singular")
 
 // Invert returns the inverse of a square matrix using Gauss–Jordan
-// elimination, or ErrSingular.
+// elimination. It returns ErrSingular for singular matrices and a
+// shape error for non-square ones.
 func (m *Matrix) Invert() (*Matrix, error) {
 	if m.Rows != m.Cols {
-		panic("gf256: cannot invert non-square matrix")
+		return nil, fmt.Errorf("gf256: cannot invert non-square %dx%d matrix", m.Rows, m.Cols)
 	}
 	n := m.Rows
 	work := m.Clone()

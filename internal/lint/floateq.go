@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags == and != between floating-point expressions.
+//
+// Accumulated rounding error makes float equality order- and
+// optimization-dependent, which silently breaks the replayability the
+// simulators promise. Three comparisons are recognized as exact and
+// exempt:
+//
+//   - both operands are compile-time constants;
+//   - the self-comparison NaN test (x != x);
+//   - comparison against a constant, e.g. p == 0 — the dynamic
+//     programs use exact zero/one tests to elide work on impossible
+//     events, and a stored constant compares reliably against itself.
+//
+// Everything else (two computed values) needs either an epsilon
+// comparison or an explicit //lint:allow floateq directive explaining
+// why the arithmetic is exact at that site (e.g. integer-valued DP
+// tables, combinatorial identities).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between computed floating-point expressions",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.Info.Types[bin.X], pass.Info.Types[bin.Y]
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			// Constant on either side is an exact sentinel test; both
+			// sides constant folds at compile time.
+			if xt.Value != nil || yt.Value != nil {
+				return true
+			}
+			if sameSimpleExpr(bin.X, bin.Y) {
+				return true // x != x: the NaN test
+			}
+			pass.Report(bin.OpPos,
+				"%s between computed floats is rounding-sensitive; use an epsilon or allowlist with a reason",
+				bin.Op)
+			return true
+		})
+	}
+	return nil
+}

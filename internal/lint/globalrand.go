@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand forbids calls to math/rand's package-level convenience
+// functions (rand.Intn, rand.Float64, rand.Seed, …) in library code.
+//
+// The global source is shared mutable state: any call makes the result
+// depend on every other global-source call that ever ran in the
+// process, so a simulation that touches it is not replayable from its
+// seed. Every sampling site must instead thread an explicitly seeded
+// *rand.Rand (constructing one with rand.New/rand.NewSource is fine).
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid math/rand global-source calls; thread a seeded *rand.Rand instead",
+	Run:  runGlobalRand,
+}
+
+// globalRandOK lists the math/rand package-level functions that do not
+// touch the global source.
+var globalRandOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runGlobalRand(pass *Pass) error {
+	if !isLibraryPackage(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // method on *Rand / *Zipf: fine
+			}
+			if globalRandOK[fn.Name()] {
+				return true
+			}
+			pass.Report(call.Pos(),
+				"call to global-source rand.%s makes the simulation unreplayable; thread a seeded *rand.Rand",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("mlec/internal/burst").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// allows maps filename → line → set of analyzer names allowlisted
+	// at that line by //lint:allow directives.
+	allows map[string]map[int]map[string]bool
+	// Malformed records //lint:allow directives missing the mandatory
+	// analyzer name or reason; the driver reports them.
+	Malformed []token.Position
+}
+
+// allowed reports whether a diagnostic from the named analyzer at pos is
+// suppressed by a directive on the same line or the line directly above.
+func (p *Package) allowed(analyzer string, pos token.Position) bool {
+	lines := p.allows[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}
+
+// A Loader parses and type-checks packages of a single module from
+// source, resolving intra-module imports recursively and standard
+// library imports through the compiler's source importer. It performs
+// the role of go/packages for this dependency-free repository.
+type Loader struct {
+	fset       *token.FileSet
+	moduleDir  string
+	modulePath string
+	std        types.Importer
+	pkgs       map[string]*Package
+	loading    map[string]bool
+	// IncludeTests adds _test.go files of the package under test (not
+	// external _test packages). Off by default: analyzers target
+	// library code, and test files freely use conveniences the suite
+	// forbids elsewhere.
+	IncludeTests bool
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		moduleDir:  modDir,
+		modulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (string, string, error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Load resolves the given patterns ("./...", "./internal/burst", or
+// bare import paths within the module) and returns the matched
+// packages, type-checked, in sorted order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := make(map[string]bool)
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walk(l.moduleDir, dirs); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(l.moduleDir, strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/..."))
+			if err := l.walk(root, dirs); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(pat, "./") || pat == ".":
+			dirs[filepath.Join(l.moduleDir, strings.TrimPrefix(pat, "./"))] = true
+		case pat == l.modulePath || strings.HasPrefix(pat, l.modulePath+"/"):
+			rel := strings.TrimPrefix(strings.TrimPrefix(pat, l.modulePath), "/")
+			dirs[filepath.Join(l.moduleDir, rel)] = true
+		default:
+			return nil, fmt.Errorf("lint: unsupported pattern %q (use ./... or ./dir)", pat)
+		}
+	}
+	var out []*Package
+	var paths []string
+	for dir := range dirs {
+		paths = append(paths, dir)
+	}
+	sort.Strings(paths)
+	for _, dir := range paths {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// walk collects every directory under root containing non-test Go
+// files, skipping testdata, vendored and hidden trees.
+func (l *Loader) walk(root string, dirs map[string]bool) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+}
+
+// LoadDir parses and type-checks the package in dir. It returns (nil,
+// nil) for directories with no non-test Go files.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	rel, err := filepath.Rel(l.moduleDir, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.modulePath
+	if rel != "." {
+		path = l.modulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.loadPath(path)
+}
+
+// loadPath loads an intra-module import path, memoized.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+	dir := filepath.Join(l.moduleDir, rel)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !l.IncludeTests {
+			continue
+		}
+		names = append(names, filepath.Join(dir, name))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	// External test packages (package foo_test) cannot mix with the
+	// package under test in one type-check; drop them.
+	if l.IncludeTests {
+		base := files[0].Name.Name
+		kept := files[:0]
+		for _, f := range files {
+			if f.Name.Name == base {
+				kept = append(kept, f)
+			}
+		}
+		files = kept
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: importerFunc(l.importPkg)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	pkg.collectAllows()
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importPkg satisfies the type-checker: module-internal paths load from
+// source recursively; everything else is delegated to the standard
+// library source importer.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// collectAllows indexes //lint:allow directives by file and line.
+func (p *Package) collectAllows() {
+	p.allows = make(map[string]map[int]map[string]bool)
+	for _, f := range p.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				// Both the analyzer name and a reason are mandatory;
+				// a bare directive is reported, not honored.
+				if len(fields) < 2 {
+					p.Malformed = append(p.Malformed, pos)
+					continue
+				}
+				byLine := p.allows[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					p.allows[pos.Filename] = byLine
+				}
+				set := byLine[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					byLine[pos.Line] = set
+				}
+				set[fields[0]] = true
+			}
+		}
+	}
+}

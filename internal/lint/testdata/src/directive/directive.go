@@ -1,0 +1,9 @@
+// Fixture for //lint:allow directive handling: a directive without the
+// mandatory reason must be reported as malformed and must NOT suppress
+// the finding it precedes.
+package fixdirective
+
+func Bad(a, b float64) bool {
+	//lint:allow floateq
+	return a == b // want `between computed floats`
+}

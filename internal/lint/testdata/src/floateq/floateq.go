@@ -1,0 +1,33 @@
+// Fixture for the floateq analyzer.
+package fixfloateq
+
+// Computed compares two computed floats: flagged.
+func Computed(a, b float64) bool {
+	return a == b // want `between computed floats`
+}
+
+// NotEqual is the same hazard spelled with !=.
+func NotEqual(a, b float64) bool {
+	return a != b // want `between computed floats`
+}
+
+// Sentinel compares against a constant: exact, exempt.
+func Sentinel(p float64) bool {
+	return p == 0
+}
+
+// NaNTest is the x != x idiom: exempt.
+func NaNTest(x float64) bool {
+	return x != x
+}
+
+// Ints are exact: exempt.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Allowed carries a reviewed directive: suppressed.
+func Allowed(a, b float64) bool {
+	//lint:allow floateq fixture pretends these are integer-valued table entries
+	return a == b
+}

@@ -1,0 +1,21 @@
+// Fixture for the globalrand analyzer.
+package fixglobalrand
+
+import "math/rand"
+
+// Bad draws from the shared global source: flagged.
+func Bad() int {
+	return rand.Intn(6) // want `global-source rand\.Intn`
+}
+
+// BadFloat likewise.
+func BadFloat() float64 {
+	return rand.Float64() // want `global-source rand\.Float64`
+}
+
+// Good threads an explicitly seeded generator; rand.New and
+// rand.NewSource are constructors, not global-source draws.
+func Good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}

@@ -1,0 +1,54 @@
+// Fixture for the nakedpanic analyzer.
+package fixnakedpanic
+
+import "errors"
+
+// Parse is exported and panics directly: flagged.
+func Parse(s string) int {
+	if s == "" {
+		panic("empty input") // want `panic reachable from exported API`
+	}
+	return len(s)
+}
+
+// Helper reaches check through the call graph, so check's panic is
+// flagged even though check is unexported.
+func Helper(n int) {
+	check(n)
+}
+
+func check(n int) {
+	if n < 0 {
+		panic("negative") // want `panic reachable from exported API`
+	}
+}
+
+// MustParse panics by documented contract: exempt.
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty input")
+	}
+	return len(s)
+}
+
+// orphan is unreachable from any exported entry point: exempt.
+func orphan() {
+	panic("dead code")
+}
+
+// Validate returns an error instead of panicking: the steered-to idiom.
+func Validate(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+
+// Kernel carries a reviewed invariant directive: suppressed.
+func Kernel(xs []byte) byte {
+	if len(xs) == 0 {
+		//lint:allow nakedpanic fixture invariant; mirrors a bounds check
+		panic("empty slice")
+	}
+	return xs[0]
+}

@@ -1,0 +1,55 @@
+// Fixture for the sharedrng analyzer: positive cases marked with
+// `// want` comments, negative cases left bare.
+package fixsharedrng
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Guarded pairs a mutex with an RNG, declaring the RNG shared.
+type Guarded struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Draw locks before touching the RNG: fine.
+func (g *Guarded) Draw() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rng.Float64()
+}
+
+// Leak touches the RNG without the lock: flagged.
+func (g *Guarded) Leak() float64 {
+	return g.rng.Float64() // want `touches mutex-guarded RNG field`
+}
+
+// Unguarded has no mutex, so its RNG is treated as confined.
+type Unguarded struct {
+	rng *rand.Rand
+}
+
+func (u *Unguarded) Draw() float64 { return u.rng.Float64() }
+
+// Workers demonstrates the goroutine-capture rule.
+func Workers(seed int64) {
+	var wg sync.WaitGroup
+	shared := rand.New(rand.NewSource(seed))
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_ = shared.Intn(10) // want `goroutine captures shared \*rand\.Rand`
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			private := rand.New(rand.NewSource(seed ^ int64(w)))
+			_ = private.Intn(10)
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,93 @@
+// Fixture for the waitgroupcapture analyzer.
+package fixwaitgroupcapture
+
+import "sync"
+
+// CaptureLoop references the for-loop variable inside the goroutine:
+// flagged.
+func CaptureLoop() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = i // want `references loop variable "i"`
+		}()
+	}
+	wg.Wait()
+}
+
+// CaptureRange is the range-loop variant.
+func CaptureRange(xs []int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = x // want `references loop variable "x"`
+		}()
+	}
+	wg.Wait()
+}
+
+// SharedSum accumulates into a pre-loop variable without a lock:
+// flagged.
+func SharedSum(xs []float64) float64 {
+	var wg sync.WaitGroup
+	sum := 0.0
+	for i := 0; i < len(xs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sum += xs[i] // want `writes shared accumulator "sum"`
+		}(i)
+	}
+	wg.Wait()
+	return sum
+}
+
+// PerSlot writes distinct slice elements: the blessed pattern, exempt.
+func PerSlot(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var wg sync.WaitGroup
+	for i := 0; i < len(xs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = xs[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// MutexSum holds a lock around the shared write: exempt.
+func MutexSum(xs []float64) float64 {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sum := 0.0
+	for i := 0; i < len(xs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			sum += xs[i]
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return sum
+}
+
+// ParamPass passes the loop variable as a goroutine parameter: exempt.
+func ParamPass() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = i
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WaitGroupCapture enforces the worker-pool discipline used by the
+// simulators' fan-out loops (burst.PDL, poolsim.Split,
+// rs.EncodeParallel):
+//
+//  1. A goroutine launched inside a loop must not reference the loop
+//     variable directly — it must receive it as a parameter of the go
+//     func literal. (Go 1.22 made per-iteration variables safe, but
+//     parameter passing keeps the dependency explicit and the code
+//     correct under earlier toolchains and refactors.)
+//
+//  2. A goroutine launched inside a loop must not write to a variable
+//     declared outside the loop without holding a lock — the shared-
+//     accumulator race. Writing to distinct elements of a
+//     pre-allocated slice (slots[i] = …) is the blessed pattern and is
+//     not flagged; direct writes (sum += x, done++) are, unless the
+//     goroutine body acquires a mutex.
+var WaitGroupCapture = &Analyzer{
+	Name: "waitgroupcapture",
+	Doc:  "flag worker-pool loops capturing loop variables or racing on shared accumulators",
+	Run:  runWaitGroupCapture,
+}
+
+func runWaitGroupCapture(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			loopVars := make(map[types.Object]bool)
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+				if init, ok := loop.Init.(*ast.AssignStmt); ok {
+					for _, lhs := range init.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := pass.Info.Defs[id]; obj != nil {
+								loopVars[obj] = true
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				body = loop.Body
+				for _, e := range []ast.Expr{loop.Key, loop.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+			default:
+				return true
+			}
+			checkLoopGoroutines(pass, n.Pos(), body, loopVars)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLoopGoroutines inspects go statements directly inside one loop
+// body (not nested inside further function literals).
+func checkLoopGoroutines(pass *Pass, loopPos token.Pos, body *ast.BlockStmt, loopVars map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a nested closure is not "launched by this loop"
+		}
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		locks := containsLockCall(lit.Body)
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj := pass.Info.Uses[n]; obj != nil && loopVars[obj] {
+					pass.Report(n.Pos(),
+						"goroutine references loop variable %q; pass it as a parameter of the go func",
+						n.Name)
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					reportSharedWrite(pass, lhs, lit, loopPos, locks)
+				}
+			case *ast.IncDecStmt:
+				reportSharedWrite(pass, n.X, lit, loopPos, locks)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// reportSharedWrite flags a direct assignment to a variable declared
+// before the loop, performed inside the goroutine without locking.
+func reportSharedWrite(pass *Pass, lhs ast.Expr, lit *ast.FuncLit, loopPos token.Pos, locks bool) {
+	if locks {
+		return
+	}
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return // element/field writes are the per-slot pattern
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	// Declared inside the goroutine: private. Declared inside the loop
+	// body but outside the goroutine: per-iteration, racy only against
+	// this one goroutine — still shared, but the common benign case is
+	// a per-iteration temp; we flag only pre-loop declarations, which
+	// are shared across every worker.
+	if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+		return
+	}
+	if v.Pos() >= loopPos {
+		return
+	}
+	if _, isChan := v.Type().Underlying().(*types.Chan); isChan {
+		return
+	}
+	pass.Report(id.Pos(),
+		"goroutine writes shared accumulator %q without synchronization; use per-worker slots or a mutex",
+		id.Name)
+}

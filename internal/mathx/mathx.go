@@ -20,10 +20,11 @@ func init() {
 	}
 }
 
-// LogFactorial returns ln(n!).
+// LogFactorial returns ln(n!). Negative arguments return NaN, following
+// the math package's convention for domain errors (math.Sqrt(-1)).
 func LogFactorial(n int) float64 {
 	if n < 0 {
-		panic("mathx: LogFactorial of negative")
+		return math.NaN()
 	}
 	if n < lgammaCacheSize {
 		return logFactCache[n]

@@ -1,0 +1,50 @@
+package rngsplit
+
+import "testing"
+
+func TestMixDeterministic(t *testing.T) {
+	if Mix(42, 3) != Mix(42, 3) {
+		t.Fatal("Mix is not a pure function")
+	}
+	if Derive(42, 3).Int63() != Derive(42, 3).Int63() {
+		t.Fatal("Derive streams with equal (seed, id) diverge")
+	}
+}
+
+func TestMixSeparatesIDs(t *testing.T) {
+	// Derived seeds for consecutive ids must all be distinct and must not
+	// share the master seed's low bits (the failure mode of seed+id).
+	const seed = 7
+	seen := make(map[int64]bool)
+	for id := 0; id < 10000; id++ {
+		v := Mix(seed, id)
+		if seen[v] {
+			t.Fatalf("Mix(%d, %d) collides with an earlier id", seed, id)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMixSeparatesSeeds(t *testing.T) {
+	for id := 0; id < 100; id++ {
+		if Mix(1, id) == Mix(2, id) {
+			t.Fatalf("Mix(1, %d) == Mix(2, %d)", id, id)
+		}
+	}
+}
+
+func TestDerivedStreamsUncorrelated(t *testing.T) {
+	// Crude independence check: the first draws of 1000 consecutive
+	// worker streams should look uniform (mean ≈ 0.5). With seed+id
+	// derivation the low-bit correlation makes this fail badly for
+	// lagged pairs; with splitmix64 mixing it passes comfortably.
+	const n = 1000
+	sum := 0.0
+	for id := 0; id < n; id++ {
+		sum += Derive(123, id).Float64()
+	}
+	mean := sum / n
+	if mean < 0.45 || mean > 0.55 {
+		t.Fatalf("first-draw mean across streams = %g, want ≈0.5", mean)
+	}
+}

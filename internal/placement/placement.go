@@ -243,9 +243,9 @@ func (l *Layout) LocalPoolDataBytes() float64 {
 // distinct disks, approximately balancing chunks per disk. The layout is
 // deterministic for a given seed. Used by the segment-granularity pool
 // simulator and the in-memory cluster.
-func DeclusteredStripes(poolSize, width, stripes int, seed int64) [][]int {
+func DeclusteredStripes(poolSize, width, stripes int, seed int64) ([][]int, error) {
 	if width > poolSize {
-		panic(fmt.Sprintf("placement: stripe width %d exceeds pool size %d", width, poolSize))
+		return nil, fmt.Errorf("placement: stripe width %d exceeds pool size %d", width, poolSize)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	out := make([][]int, stripes)
@@ -279,14 +279,14 @@ func DeclusteredStripes(poolSize, width, stripes int, seed int64) [][]int {
 		}
 		out[i] = s
 	}
-	return out
+	return out, nil
 }
 
 // ClusteredStripes generates the trivial clustered layout: every stripe
 // spans all poolSize (== width) disks in order.
-func ClusteredStripes(poolSize, width, stripes int) [][]int {
+func ClusteredStripes(poolSize, width, stripes int) ([][]int, error) {
 	if width != poolSize {
-		panic(fmt.Sprintf("placement: clustered pool size %d must equal width %d", poolSize, width))
+		return nil, fmt.Errorf("placement: clustered pool size %d must equal width %d", poolSize, width)
 	}
 	out := make([][]int, stripes)
 	base := make([]int, width)
@@ -296,5 +296,5 @@ func ClusteredStripes(poolSize, width, stripes int) [][]int {
 	for i := range out {
 		out[i] = base
 	}
-	return out
+	return out, nil
 }

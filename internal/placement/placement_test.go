@@ -176,7 +176,10 @@ func TestStripeCounts(t *testing.T) {
 
 func TestDeclusteredStripes(t *testing.T) {
 	const poolSize, width, stripes = 120, 20, 3000
-	layout := DeclusteredStripes(poolSize, width, stripes, 42)
+	layout, err := DeclusteredStripes(poolSize, width, stripes, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(layout) != stripes {
 		t.Fatalf("got %d stripes", len(layout))
 	}
@@ -207,8 +210,14 @@ func TestDeclusteredStripes(t *testing.T) {
 }
 
 func TestDeclusteredStripesDeterministic(t *testing.T) {
-	a := DeclusteredStripes(30, 5, 100, 7)
-	b := DeclusteredStripes(30, 5, 100, 7)
+	a, err := DeclusteredStripes(30, 5, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeclusteredStripes(30, 5, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range a {
 		for j := range a[i] {
 			if a[i][j] != b[i][j] {
@@ -216,7 +225,10 @@ func TestDeclusteredStripesDeterministic(t *testing.T) {
 			}
 		}
 	}
-	c := DeclusteredStripes(30, 5, 100, 8)
+	c, err := DeclusteredStripes(30, 5, 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	same := true
 outer:
 	for i := range a {
@@ -233,7 +245,10 @@ outer:
 }
 
 func TestClusteredStripes(t *testing.T) {
-	layout := ClusteredStripes(20, 20, 5)
+	layout, err := ClusteredStripes(20, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, s := range layout {
 		for i, d := range s {
 			if d != i {
@@ -241,21 +256,15 @@ func TestClusteredStripes(t *testing.T) {
 			}
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("ClusteredStripes with width != poolSize did not panic")
-		}
-	}()
-	ClusteredStripes(21, 20, 1)
+	if _, err := ClusteredStripes(21, 20, 1); err == nil {
+		t.Fatal("ClusteredStripes with width != poolSize did not error")
+	}
 }
 
-func TestDeclusteredWidthPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("DeclusteredStripes width > pool did not panic")
-		}
-	}()
-	DeclusteredStripes(10, 11, 1, 1)
+func TestDeclusteredWidthErrors(t *testing.T) {
+	if _, err := DeclusteredStripes(10, 11, 1, 1); err == nil {
+		t.Fatal("DeclusteredStripes width > pool did not error")
+	}
 }
 
 func TestPositionOfPoolStableAcrossRacks(t *testing.T) {
@@ -282,7 +291,10 @@ func TestDeclusteredStripesQuick(t *testing.T) {
 			width = poolSize
 		}
 		stripes := 1 + int(c%40)
-		layout := DeclusteredStripes(poolSize, width, stripes, seed)
+		layout, err := DeclusteredStripes(poolSize, width, stripes, seed)
+		if err != nil {
+			return false
+		}
 		if len(layout) != stripes {
 			return false
 		}

@@ -144,10 +144,14 @@ func NewPool(cfg Config, layoutSeed int64) (*Pool, error) {
 		return nil, fmt.Errorf("poolsim: stripe width %d exceeds 64 (lost-mask capacity)", cfg.Width)
 	}
 	var layout [][]int
+	var err error
 	if cfg.Clustered {
-		layout = placement.ClusteredStripes(cfg.Disks, cfg.Width, cfg.Stripes())
+		layout, err = placement.ClusteredStripes(cfg.Disks, cfg.Width, cfg.Stripes())
 	} else {
-		layout = placement.DeclusteredStripes(cfg.Disks, cfg.Width, cfg.Stripes(), layoutSeed)
+		layout, err = placement.DeclusteredStripes(cfg.Disks, cfg.Width, cfg.Stripes(), layoutSeed)
+	}
+	if err != nil {
+		return nil, err
 	}
 	p := &Pool{
 		Cfg:          cfg,
@@ -195,6 +199,7 @@ func (p *Pool) DiskState(d int) int { return int(p.state[d]) }
 // is a catastrophic local pool failure.
 func (p *Pool) FailDisk(d int) (newlyLost int) {
 	if p.state[d] != diskHealthy {
+		//lint:allow nakedpanic double-failing a disk is a simulator-state invariant violation, not recoverable input
 		panic(fmt.Sprintf("poolsim: disk %d failed twice", d))
 	}
 	p.state[d] = diskFailedUndetected
@@ -347,6 +352,7 @@ func (p *Pool) HealAll() {
 // RandomHealthyDisk returns a uniformly random healthy disk id.
 func (p *Pool) RandomHealthyDisk(rng *rand.Rand) int {
 	if p.failedCount == p.Cfg.Disks {
+		//lint:allow nakedpanic callers only ask while the pool has survivors; an empty pool is a simulator-state invariant violation
 		panic("poolsim: no healthy disk")
 	}
 	for {

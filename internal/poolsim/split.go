@@ -133,7 +133,7 @@ func Split(cfg Config, ttf failure.Exponential, sc SplitConfig) (SplitResult, er
 				continue
 			}
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func(level, lo, hi int) {
 				defer wg.Done()
 				for i := lo; i < hi; i++ {
 					trng := rand.New(rand.NewSource(sc.Seed ^ (int64(level) << 32) ^ int64(i)*0x9e3779b9))
@@ -141,7 +141,7 @@ func Split(cfg Config, ttf failure.Exponential, sc SplitConfig) (SplitResult, er
 					outcome, next, catSample := runTrajectory(cfg, ttf, entry, trng)
 					slots[i] = slot{outcome, next, catSample}
 				}
-			}(lo, hi)
+			}(level, lo, hi)
 		}
 		wg.Wait()
 

@@ -19,12 +19,17 @@
 package repair
 
 import (
+	"errors"
 	"fmt"
 
 	"mlec/internal/bwmodel"
 	"mlec/internal/mathx"
 	"mlec/internal/placement"
 )
+
+// ErrUnknownMethod is returned when a Method value is outside the four
+// defined repair methods.
+var ErrUnknownMethod = errors.New("repair: unknown method")
 
 // Method enumerates the four repair methods.
 type Method int
@@ -124,14 +129,15 @@ func NewAnalyzer(l *placement.Layout) *Analyzer {
 
 // AnalyzeBurst evaluates a method against the paper's catastrophic
 // injection: pl+1 simultaneous disk failures in one local pool.
-func (a *Analyzer) AnalyzeBurst(m Method) Analysis {
+func (a *Analyzer) AnalyzeBurst(m Method) (Analysis, error) {
 	failed := a.Layout.Params.PL + 1
 	return a.AnalyzeProfile(m, failed, BurstProfile(a.Layout, failed))
 }
 
 // AnalyzeProfile evaluates a method against an arbitrary pool failure
-// state: `failedDisks` disks down with the given stripe profile.
-func (a *Analyzer) AnalyzeProfile(m Method, failedDisks int, prof StripeProfile) Analysis {
+// state: `failedDisks` disks down with the given stripe profile. It
+// returns ErrUnknownMethod for a Method outside the defined four.
+func (a *Analyzer) AnalyzeProfile(m Method, failedDisks int, prof StripeProfile) (Analysis, error) {
 	l := a.Layout
 	chunk := l.Topo.ChunkSizeBytes
 	pl := l.Params.PL
@@ -168,7 +174,7 @@ func (a *Analyzer) AnalyzeProfile(m Method, failedDisks int, prof StripeProfile)
 			}
 		}
 	default:
-		panic(fmt.Sprintf("repair: unknown method %v", m))
+		return Analysis{}, fmt.Errorf("%w: %v", ErrUnknownMethod, m)
 	}
 
 	netBW := a.Model.PoolRepairBandwidth()
@@ -185,7 +191,7 @@ func (a *Analyzer) AnalyzeProfile(m Method, failedDisks int, prof StripeProfile)
 		an.LocalRepairHours = locBytes / locBW / 3600
 	}
 	an.TotalHours = an.NetworkRepairHours + an.LocalRepairHours
-	return an
+	return an, nil
 }
 
 // CatastrophicWindowHours returns the duration for which the pool remains
@@ -195,7 +201,10 @@ func (a *Analyzer) AnalyzeProfile(m Method, failedDisks int, prof StripeProfile)
 // stage has restored every lost stripe to ≤ pl failures, so for R_HYB and
 // R_MIN this is just the network stage; for R_ALL and R_FCO the pool is
 // exposed until the network repair finishes.
-func (a *Analyzer) CatastrophicWindowHours(m Method) float64 {
-	an := a.AnalyzeBurst(m)
-	return an.NetworkRepairHours
+func (a *Analyzer) CatastrophicWindowHours(m Method) (float64, error) {
+	an, err := a.AnalyzeBurst(m)
+	if err != nil {
+		return 0, err
+	}
+	return an.NetworkRepairHours, nil
 }

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -19,6 +20,15 @@ func analyzer(t *testing.T, s placement.Scheme) *Analyzer {
 
 func approx(a, b, tol float64) bool {
 	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func burst(t *testing.T, a *Analyzer, m Method) Analysis {
+	t.Helper()
+	an, err := a.AnalyzeBurst(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
 }
 
 func TestBurstProfileClustered(t *testing.T) {
@@ -65,35 +75,35 @@ func TestFigure8Traffic(t *testing.T) {
 	const TB = 1e12
 	for _, s := range []placement.Scheme{placement.SchemeCC, placement.SchemeDC} {
 		a := analyzer(t, s)
-		if got := a.AnalyzeBurst(RAll).CrossRackTrafficBytes / TB; !approx(got, 4400, 1e-6) {
+		if got := burst(t, a, RAll).CrossRackTrafficBytes / TB; !approx(got, 4400, 1e-6) {
 			t.Errorf("%v R_ALL traffic %g TB, want 4400", s, got)
 		}
-		if got := a.AnalyzeBurst(RFCO).CrossRackTrafficBytes / TB; !approx(got, 880, 1e-6) {
+		if got := burst(t, a, RFCO).CrossRackTrafficBytes / TB; !approx(got, 880, 1e-6) {
 			t.Errorf("%v R_FCO traffic %g TB, want 880", s, got)
 		}
 		// Cp: R_HYB degenerates to R_FCO under a simultaneous burst.
-		if got := a.AnalyzeBurst(RHYB).CrossRackTrafficBytes / TB; !approx(got, 880, 1e-6) {
+		if got := burst(t, a, RHYB).CrossRackTrafficBytes / TB; !approx(got, 880, 1e-6) {
 			t.Errorf("%v R_HYB traffic %g TB, want 880", s, got)
 		}
 		// R_MIN repairs 1 of 4 failed chunks per stripe → 220 TB.
-		if got := a.AnalyzeBurst(RMin).CrossRackTrafficBytes / TB; !approx(got, 220, 1e-6) {
+		if got := burst(t, a, RMin).CrossRackTrafficBytes / TB; !approx(got, 220, 1e-6) {
 			t.Errorf("%v R_MIN traffic %g TB, want 220", s, got)
 		}
 	}
 	for _, s := range []placement.Scheme{placement.SchemeCD, placement.SchemeDD} {
 		a := analyzer(t, s)
-		if got := a.AnalyzeBurst(RAll).CrossRackTrafficBytes / TB; !approx(got, 26400, 1e-6) {
+		if got := burst(t, a, RAll).CrossRackTrafficBytes / TB; !approx(got, 26400, 1e-6) {
 			t.Errorf("%v R_ALL traffic %g TB, want 26400", s, got)
 		}
-		if got := a.AnalyzeBurst(RFCO).CrossRackTrafficBytes / TB; !approx(got, 880, 1e-6) {
+		if got := burst(t, a, RFCO).CrossRackTrafficBytes / TB; !approx(got, 880, 1e-6) {
 			t.Errorf("%v R_FCO traffic %g TB, want 880", s, got)
 		}
 		// The paper's 3.1 TB figure.
-		if got := a.AnalyzeBurst(RHYB).CrossRackTrafficBytes / TB; got < 2.8 || got > 3.4 {
+		if got := burst(t, a, RHYB).CrossRackTrafficBytes / TB; got < 2.8 || got > 3.4 {
 			t.Errorf("%v R_HYB traffic %g TB, want ≈3.1", s, got)
 		}
-		hyb := a.AnalyzeBurst(RHYB).CrossRackTrafficBytes
-		min := a.AnalyzeBurst(RMin).CrossRackTrafficBytes
+		hyb := burst(t, a, RHYB).CrossRackTrafficBytes
+		min := burst(t, a, RMin).CrossRackTrafficBytes
 		if ratio := hyb / min; ratio < 3.9 {
 			t.Errorf("%v R_HYB/R_MIN traffic ratio %g, want ≥ 4", s, ratio)
 		}
@@ -114,8 +124,8 @@ func TestFigure9RepairTime(t *testing.T) {
 		{placement.SchemeDD, 25, 35}, // 489 h → 16 h  (~30×)
 	} {
 		a := analyzer(t, c.s)
-		all := a.AnalyzeBurst(RAll)
-		fco := a.AnalyzeBurst(RFCO)
+		all := burst(t, a, RAll)
+		fco := burst(t, a, RFCO)
 		ratio := all.NetworkRepairHours / fco.NetworkRepairHours
 		if ratio < c.minRatio || ratio > c.maxRatio {
 			t.Errorf("F#1 %v: R_ALL/R_FCO net time ratio %.1f, want [%g,%g]",
@@ -129,8 +139,8 @@ func TestFigure9RepairTime(t *testing.T) {
 	// F#2: on C/D, R_HYB trades network time for local time and lands
 	// near R_FCO's total.
 	cd := analyzer(t, placement.SchemeCD)
-	fco := cd.AnalyzeBurst(RFCO)
-	hyb := cd.AnalyzeBurst(RHYB)
+	fco := burst(t, cd, RFCO)
+	hyb := burst(t, cd, RHYB)
 	if hyb.NetworkRepairHours >= fco.NetworkRepairHours/10 {
 		t.Errorf("F#2: C/D R_HYB network stage %.1f h not ≪ R_FCO %.1f h",
 			hyb.NetworkRepairHours, fco.NetworkRepairHours)
@@ -147,16 +157,16 @@ func TestFigure9RepairTime(t *testing.T) {
 	// longer in total (clearly visible on */C).
 	for _, s := range placement.AllSchemes {
 		a := analyzer(t, s)
-		min := a.AnalyzeBurst(RMin)
+		min := burst(t, a, RMin)
 		for _, m := range []Method{RAll, RFCO, RHYB} {
-			if other := a.AnalyzeBurst(m); min.NetworkRepairHours > other.NetworkRepairHours+1e-9 {
+			if other := burst(t, a, m); min.NetworkRepairHours > other.NetworkRepairHours+1e-9 {
 				t.Errorf("F#3 %v: R_MIN network stage %.2f h exceeds %v's %.2f h",
 					s, min.NetworkRepairHours, m, other.NetworkRepairHours)
 			}
 		}
 	}
 	cc := analyzer(t, placement.SchemeCC)
-	if cc.AnalyzeBurst(RMin).TotalHours <= cc.AnalyzeBurst(RFCO).TotalHours {
+	if burst(t, cc, RMin).TotalHours <= burst(t, cc, RFCO).TotalHours {
 		t.Error("F#3: C/C R_MIN total must exceed R_FCO total")
 	}
 }
@@ -168,12 +178,12 @@ func TestTrafficConservation(t *testing.T) {
 		a := analyzer(t, s)
 		failedBytes := 4 * a.Layout.Topo.DiskCapacityBytes
 		for _, m := range []Method{RFCO, RHYB, RMin} {
-			an := a.AnalyzeBurst(m)
+			an := burst(t, a, m)
 			if got := an.NetworkRepairBytes + an.LocalRepairBytes; !approx(got, failedBytes, 1e-9) {
 				t.Errorf("%v %v repairs %g bytes, want %g", s, m, got, failedBytes)
 			}
 		}
-		if an := a.AnalyzeBurst(RAll); an.NetworkRepairBytes < failedBytes {
+		if an := burst(t, a, RAll); an.NetworkRepairBytes < failedBytes {
 			t.Errorf("%v R_ALL repairs less than the failed bytes", s)
 		}
 	}
@@ -187,7 +197,10 @@ func TestCatastrophicWindowOrdering(t *testing.T) {
 		a := analyzer(t, s)
 		prev := math.Inf(1)
 		for _, m := range AllMethods {
-			w := a.CatastrophicWindowHours(m)
+			w, err := a.CatastrophicWindowHours(m)
+			if err != nil {
+				t.Fatalf("%v %v: %v", s, m, err)
+			}
 			if w > prev+1e-9 {
 				t.Errorf("%v: window grew from %v at %v", s, prev, m)
 			}
@@ -212,13 +225,29 @@ func TestAnalyzeProfileGeneral(t *testing.T) {
 	a := analyzer(t, placement.SchemeCC)
 	stripes := a.Layout.LocalStripesPerPool()
 	prof := StripeProfile{4: stripes / 2, 2: stripes / 2}
-	fco := a.AnalyzeProfile(RFCO, 4, prof)
-	hyb := a.AnalyzeProfile(RHYB, 4, prof)
+	fco, err := a.AnalyzeProfile(RFCO, 4, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := a.AnalyzeProfile(RHYB, 4, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if hyb.CrossRackTrafficBytes >= fco.CrossRackTrafficBytes {
 		t.Error("R_HYB must reduce traffic when some stripes are locally recoverable")
 	}
-	min := a.AnalyzeProfile(RMin, 4, prof)
+	min, err := a.AnalyzeProfile(RMin, 4, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if min.CrossRackTrafficBytes >= hyb.CrossRackTrafficBytes {
 		t.Error("R_MIN must reduce traffic below R_HYB")
+	}
+}
+
+func TestAnalyzeProfileUnknownMethod(t *testing.T) {
+	a := analyzer(t, placement.SchemeCC)
+	if _, err := a.AnalyzeProfile(Method(99), 4, StripeProfile{}); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("AnalyzeProfile(Method(99)) error = %v, want ErrUnknownMethod", err)
 	}
 }

@@ -82,11 +82,11 @@ func (c *Codec) TotalShards() int { return c.k + c.p }
 // ParityRow returns the encoding-matrix row for parity shard i (0 ≤ i < p):
 // parity_i = Σ_j row[j]·data_j. The slice aliases codec state; do not
 // modify.
-func (c *Codec) ParityRow(i int) []byte {
+func (c *Codec) ParityRow(i int) ([]byte, error) {
 	if i < 0 || i >= c.p {
-		panic(fmt.Sprintf("rs: parity row %d out of range [0,%d)", i, c.p))
+		return nil, fmt.Errorf("rs: parity row %d out of range [0,%d)", i, c.p)
 	}
-	return c.enc.Row(c.k + i)
+	return c.enc.Row(c.k + i), nil
 }
 
 func (c *Codec) checkShards(shards [][]byte, wantAll bool) (int, error) {

@@ -207,7 +207,11 @@ func TestParityRowsNonzero(t *testing.T) {
 	for _, cfg := range []struct{ k, p int }{{2, 1}, {10, 2}, {17, 3}} {
 		c := MustNew(cfg.k, cfg.p)
 		for i := 0; i < cfg.p; i++ {
-			for j, v := range c.ParityRow(i) {
+			row, err := c.ParityRow(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, v := range row {
 				if v == 0 {
 					t.Fatalf("(%d+%d) parity row %d col %d is zero", cfg.k, cfg.p, i, j)
 				}
@@ -216,14 +220,14 @@ func TestParityRowsNonzero(t *testing.T) {
 	}
 }
 
-func TestParityRowBoundsPanics(t *testing.T) {
+func TestParityRowBounds(t *testing.T) {
 	c := MustNew(4, 2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("ParityRow(2) did not panic")
-		}
-	}()
-	c.ParityRow(2)
+	if _, err := c.ParityRow(2); err == nil {
+		t.Fatal("ParityRow(2) did not error")
+	}
+	if _, err := c.ParityRow(-1); err == nil {
+		t.Fatal("ParityRow(-1) did not error")
+	}
 }
 
 func TestEncodeIsDeterministic(t *testing.T) {

@@ -41,6 +41,7 @@ func (e *Engine) Now() float64 { return e.now }
 // error in the caller.
 func (e *Engine) Schedule(delay float64, fn func()) *Event {
 	if delay < 0 {
+		//lint:allow nakedpanic scheduling into the past is a caller logic error; error returns would infect every event callback
 		panic(fmt.Sprintf("sim: negative delay %g", delay))
 	}
 	ev := &Event{time: e.now + delay, seq: e.seq, callback: fn}
@@ -94,6 +95,7 @@ type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
+	//lint:allow floateq exact tie-break on identical event times; ties fall through to seq order
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time
 	}

@@ -108,7 +108,11 @@ func DurabilityDetect(l *placement.Layout, method repair.Method, s1 Stage1, dete
 		return Result{}, fmt.Errorf("splitting: negative detection delay")
 	}
 	an := repair.NewAnalyzer(l)
-	window := an.CatastrophicWindowHours(method) + detectHours
+	netWindow, err := an.CatastrophicWindowHours(method)
+	if err != nil {
+		return Result{}, err
+	}
+	window := netWindow + detectHours
 
 	// φ visible to the network repairer: R_ALL cannot see inside the
 	// pool and must treat everything as lost.

@@ -2,9 +2,9 @@ package syssim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"mlec/internal/burst"
+	"mlec/internal/mathx/rngsplit"
 )
 
 // BurstResult reports one correlated-burst injection.
@@ -26,7 +26,7 @@ func RunBurst(cfg Config, x, y int, seed int64) (BurstResult, error) {
 	if err != nil {
 		return BurstResult{}, err
 	}
-	rng := rand.New(rand.NewSource(seed ^ 0xb0b5))
+	rng := rngsplit.Derive(seed, streamBurstLayout)
 	layout, err := burst.SampleLayout(rng, cfg.Topo.Racks, cfg.Topo.DisksPerRack(), x, y)
 	if err != nil {
 		return BurstResult{}, err
@@ -70,7 +70,7 @@ func BurstPDL(cfg Config, x, y, trials int, seed int64) (float64, error) {
 	}
 	losses := 0
 	for i := 0; i < trials; i++ {
-		r, err := RunBurst(cfg, x, y, seed+int64(i)*7919)
+		r, err := RunBurst(cfg, x, y, rngsplit.Mix(seed, i))
 		if err != nil {
 			return 0, err
 		}

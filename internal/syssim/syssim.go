@@ -19,11 +19,20 @@ import (
 
 	"mlec/internal/bwmodel"
 	"mlec/internal/failure"
+	"mlec/internal/mathx/rngsplit"
 	"mlec/internal/placement"
 	"mlec/internal/poolsim"
 	"mlec/internal/repair"
 	"mlec/internal/sim"
 	"mlec/internal/topology"
+)
+
+// rngsplit stream ids. The fixed domains are negative so they can never
+// collide with the per-pool streams at streamPool0+p.
+const (
+	streamEngine      = -1
+	streamBurstLayout = -2
+	streamPool0       = 0
 )
 
 // Config describes a full-system simulation.
@@ -120,7 +129,7 @@ func New(cfg Config) (*System, error) {
 		layout:  l,
 		poolCfg: pc,
 		eng:     sim.New(),
-		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5f5f)),
+		rng:     rngsplit.Derive(cfg.Seed, streamEngine),
 		netBW:   bwmodel.New(l).PoolRepairBandwidth(),
 	}
 	n := l.TotalLocalPools()
@@ -131,7 +140,7 @@ func New(cfg Config) (*System, error) {
 	s.poolCat = make([]bool, n)
 	s.poolHealthy = make([]int, n)
 	for p := 0; p < n; p++ {
-		pool, err := poolsim.NewPool(pc, cfg.Seed+int64(p))
+		pool, err := poolsim.NewPool(pc, rngsplit.Mix(cfg.Seed, streamPool0+p))
 		if err != nil {
 			return nil, err
 		}

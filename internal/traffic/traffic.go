@@ -61,9 +61,12 @@ func MLECYearlyBytes(l *placement.Layout, method repair.Method, catRatePerPoolHo
 		return 0, fmt.Errorf("traffic: negative catastrophic rate")
 	}
 	an := repair.NewAnalyzer(l)
-	perEvent := an.AnalyzeBurst(method).CrossRackTrafficBytes
+	burst, err := an.AnalyzeBurst(method)
+	if err != nil {
+		return 0, err
+	}
 	eventsPerYear := catRatePerPoolHour * float64(l.TotalLocalPools()) * hoursPerYear
-	return eventsPerYear * perEvent, nil
+	return eventsPerYear * burst.CrossRackTrafficBytes, nil
 }
 
 // Comparison is the §5.1.4/§5.2.4 summary table.
