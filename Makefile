@@ -3,12 +3,12 @@
 GO ?= go
 
 # Packages with worker pools / goroutine fan-out: the race-detector set.
-RACE_PKGS = ./internal/burst ./internal/poolsim ./internal/rs ./internal/syssim ./internal/cluster
+RACE_PKGS = ./internal/burst ./internal/poolsim ./internal/rs ./internal/syssim ./internal/cluster ./internal/runctl
 
-.PHONY: check build vet lint test race bench
+.PHONY: check build vet lint test race stress bench
 
 ## check: build + vet + mlecvet + tests + race tests — the CI gate.
-check: build vet lint test race
+check: build vet lint test race stress
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,13 @@ test:
 ## race: race-detect the concurrent simulator packages.
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+## stress: repeat the cancellation / checkpoint-resume tests under the
+## race detector — mid-run cancels exercise the pool drain paths that a
+## single pass can miss.
+stress:
+	$(GO) test -race -count=3 -run 'Cancel|Resume|Partial|Context|Pool' \
+		./internal/runctl ./internal/poolsim ./internal/burst ./internal/syssim
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

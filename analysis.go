@@ -1,6 +1,7 @@
 package mlec
 
 import (
+	"context"
 	"time"
 
 	"mlec/internal/burst"
@@ -18,15 +19,41 @@ import (
 // simultaneously scattered across x racks (the paper's Figure 5 cells),
 // by conditional-expectation Monte Carlo over `trials` burst layouts.
 func BurstPDL(topo Topology, params Params, scheme Scheme, x, y, trials int, seed int64) (pdl, lo, hi float64, err error) {
-	l, err := placement.NewLayout(topo, params, scheme)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	r, err := burst.PDL(burst.NewMLECEvaluator(l), x, y, trials, seed)
+	r, err := BurstPDLContext(context.Background(), topo, params, scheme, x, y, trials, seed, "")
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	return r.PDL, r.Lo, r.Hi, nil
+}
+
+// BurstResult is a burst-PDL estimate with its provenance: how many
+// trials actually contributed and whether the campaign was interrupted.
+type BurstResult struct {
+	PDL, Lo, Hi float64
+	// Trials counts the Monte-Carlo trials reflected in the estimate;
+	// less than requested when the campaign was cancelled.
+	Trials int
+	// Partial marks an estimate from an interrupted campaign. The
+	// confidence interval is honestly widened (fewer trials); resume by
+	// re-running with the same checkpointPath.
+	Partial bool
+}
+
+// BurstPDLContext is BurstPDL under run control: ctx cancellation or
+// deadline stops the campaign at the next batch boundary and returns the
+// partial estimate; a non-empty checkpointPath checkpoints completed
+// batches so an identical later call resumes deterministically —
+// byte-identical to an uninterrupted run with the same seed.
+func BurstPDLContext(ctx context.Context, topo Topology, params Params, scheme Scheme, x, y, trials int, seed int64, checkpointPath string) (BurstResult, error) {
+	l, err := placement.NewLayout(topo, params, scheme)
+	if err != nil {
+		return BurstResult{}, err
+	}
+	r, err := burst.PDLContext(ctx, burst.NewMLECEvaluator(l), x, y, trials, seed, checkpointPath)
+	if err != nil {
+		return BurstResult{}, err
+	}
+	return BurstResult{PDL: r.PDL, Lo: r.Lo, Hi: r.Hi, Trials: r.Trials, Partial: r.Partial}, nil
 }
 
 // RepairCost summarizes one repair method's cost for a catastrophic
@@ -99,6 +126,10 @@ type DurabilityOptions struct {
 	// Trajectories per splitting level (default 20000).
 	Trajectories int
 	Seed         int64
+	// CheckpointPath, when non-empty and UseSimulation is set, makes
+	// the splitting estimator checkpoint after each completed level and
+	// resume a previously interrupted campaign deterministically.
+	CheckpointPath string
 }
 
 // DurabilityEstimate is the stage-2 composition result.
@@ -108,11 +139,32 @@ type DurabilityEstimate struct {
 	WindowHours        float64
 	AnnualPDL          float64
 	Nines              float64
+	// AnnualPDLLo/Hi bound AnnualPDL by propagating the stage-1
+	// catastrophe-rate confidence interval (95% CI plus the exact
+	// residual-weight tail bound) through the stage-2 composition. Both
+	// are zero when stage 1 was analytic (no sampling error).
+	AnnualPDLLo float64
+	AnnualPDLHi float64
+	// Partial marks an estimate whose stage-1 splitting campaign was
+	// interrupted: AnnualPDL reflects only the levels completed, and
+	// AnnualPDLHi includes the unexplored remainder.
+	Partial bool
 }
 
 // EstimateDurability computes the annual probability of data loss and
 // durability nines for one scheme under each repair method (Figure 10).
+// EstimateDurability is EstimateDurabilityContext without cancellation.
 func EstimateDurability(topo Topology, params Params, scheme Scheme, opts DurabilityOptions) ([]DurabilityEstimate, error) {
+	return EstimateDurabilityContext(context.Background(), topo, params, scheme, opts)
+}
+
+// EstimateDurabilityContext is EstimateDurability under run control:
+// when UseSimulation is set, ctx cancellation or deadline stops the
+// stage-1 splitting estimator at the next level boundary and the
+// estimates come back Partial with honestly widened bounds; with
+// opts.CheckpointPath set, an identical later call resumes the campaign
+// deterministically.
+func EstimateDurabilityContext(ctx context.Context, topo Topology, params Params, scheme Scheme, opts DurabilityOptions) ([]DurabilityEstimate, error) {
 	if opts.AFR <= 0 || opts.AFR >= 1 {
 		opts.AFR = 0.01
 	}
@@ -131,6 +183,8 @@ func EstimateDurability(topo Topology, params Params, scheme Scheme, opts Durabi
 		DetectionDelayHours: failure.DefaultDetectionDelayHours,
 	}
 	var s1 splitting.Stage1
+	var rateLo, rateHi float64
+	var partial bool
 	if opts.UseSimulation {
 		ttf, err := failure.NewExponentialAFR(opts.AFR)
 		if err != nil {
@@ -140,11 +194,15 @@ func EstimateDurability(topo Topology, params Params, scheme Scheme, opts Durabi
 		if n <= 0 {
 			n = 20000
 		}
-		res, err := poolsim.Split(cfg, ttf, poolsim.SplitConfig{TrajectoriesPerLevel: n, Seed: opts.Seed})
+		res, err := poolsim.SplitContext(ctx, cfg, ttf, poolsim.SplitConfig{
+			TrajectoriesPerLevel: n, Seed: opts.Seed, CheckpointPath: opts.CheckpointPath,
+		})
 		if err != nil {
 			return nil, err
 		}
 		s1 = splitting.Stage1FromSplit(cfg, res)
+		rateLo, rateHi = res.CatRateLo, res.CatRateHi
+		partial = res.Partial
 	} else {
 		m := markov.MLECRAllModel{Layout: l, LambdaPerHour: lambda}
 		rate, err := m.CatRatePerPoolHour()
@@ -160,13 +218,33 @@ func EstimateDurability(topo Topology, params Params, scheme Scheme, opts Durabi
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, DurabilityEstimate{
+		est := DurabilityEstimate{
 			Method:             m,
 			CatRatePerPoolHour: r.CatRatePerPoolHour,
 			WindowHours:        r.WindowHours,
 			AnnualPDL:          r.AnnualPDL,
 			Nines:              r.Nines,
-		})
+			Partial:            partial,
+		}
+		// AnnualPDL is monotone in the stage-1 catastrophe rate, so the
+		// rate interval maps directly onto a PDL interval by re-running
+		// the (cheap, deterministic) stage-2 composition at each bound.
+		if rateLo > 0 || rateHi > 0 {
+			s1lo, s1hi := s1, s1
+			s1lo.CatRatePerPoolHour = rateLo
+			s1hi.CatRatePerPoolHour = rateHi
+			rlo, err := splitting.Durability(l, m, s1lo)
+			if err != nil {
+				return nil, err
+			}
+			rhi, err := splitting.Durability(l, m, s1hi)
+			if err != nil {
+				return nil, err
+			}
+			est.AnnualPDLLo = rlo.AnnualPDL
+			est.AnnualPDLHi = rhi.AnnualPDL
+		}
+		out = append(out, est)
 	}
 	return out, nil
 }

@@ -6,15 +6,30 @@
 //
 //	mlecburst -scheme C/D -x 3 -y 60
 //	mlecburst -kn 10 -pn 2 -kl 17 -pl 3 -scheme D/D -x 3 -y 60 -trials 2000
+//	mlecburst -x 3 -y 60 -trials 1000000 -timeout 1m -checkpoint pdl.ckpt
+//
+// The campaign is interruptible: a -timeout deadline or a single Ctrl-C
+// drains in-flight batches and prints the partial estimate with its
+// honestly widened confidence interval (a second Ctrl-C exits
+// immediately). With -checkpoint, completed batches are saved so
+// re-running the identical command resumes deterministically.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"mlec"
+	"mlec/internal/runctl"
 )
+
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mlecburst: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run 'mlecburst -h' for usage")
+	os.Exit(2)
+}
 
 func main() {
 	schemeName := flag.String("scheme", "C/C", "MLEC scheme: C/C, C/D, D/C, D/D")
@@ -26,7 +41,24 @@ func main() {
 	pn := flag.Int("pn", 2, "network parity units")
 	kl := flag.Int("kl", 17, "local data chunks")
 	pl := flag.Int("pl", 3, "local parity chunks")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none); partial results on expiry")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file for the Monte-Carlo campaign")
 	flag.Parse()
+
+	if *trials <= 0 {
+		fatalUsage("-trials must be positive, got %d", *trials)
+	}
+	if *x <= 0 || *y <= 0 {
+		fatalUsage("-x and -y must be positive, got x=%d y=%d", *x, *y)
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{{"-kn", *kn}, {"-pn", *pn}, {"-kl", *kl}, {"-pl", *pl}} {
+		if f.v <= 0 {
+			fatalUsage("%s must be positive, got %d", f.name, f.v)
+		}
+	}
 
 	var scheme mlec.Scheme
 	switch *schemeName {
@@ -39,15 +71,33 @@ func main() {
 	case "D/D":
 		scheme = mlec.SchemeDD
 	default:
-		fmt.Fprintf(os.Stderr, "mlecburst: unknown scheme %q\n", *schemeName)
-		os.Exit(2)
+		fatalUsage("unknown scheme %q", *schemeName)
 	}
+
+	ctx, stop := runctl.CLIContext(*timeout)
+	defer stop()
+
 	params := mlec.Params{KN: *kn, PN: *pn, KL: *kl, PL: *pl}
-	pdl, lo, hi, err := mlec.BurstPDL(mlec.DefaultTopology(), params, scheme, *x, *y, *trials, *seed)
+	r, err := mlec.BurstPDLContext(ctx, mlec.DefaultTopology(), params, scheme, *x, *y, *trials, *seed, *checkpoint)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mlecburst: %v\n", err)
 		os.Exit(1)
 	}
+	if r.Partial && math.IsNaN(r.PDL) {
+		fmt.Fprintln(os.Stderr, "mlecburst: interrupted before any batch completed; nothing to report")
+		if *checkpoint == "" {
+			fmt.Fprintln(os.Stderr, "Pass -checkpoint to make interrupted campaigns resumable.")
+		}
+		os.Exit(1)
+	}
 	fmt.Printf("%s %v: PDL(y=%d failures across x=%d racks) = %.4g  [95%% CI %.3g, %.3g]  (%d trials)\n",
-		*schemeName, params, *y, *x, pdl, lo, hi, *trials)
+		*schemeName, params, *y, *x, r.PDL, r.Lo, r.Hi, r.Trials)
+	if r.Partial {
+		fmt.Printf("PARTIAL: %d of %d requested trials completed before interruption.\n", r.Trials, *trials)
+		if *checkpoint != "" {
+			fmt.Printf("Re-run the same command to resume from %s.\n", *checkpoint)
+		} else {
+			fmt.Println("Pass -checkpoint to make interrupted campaigns resumable.")
+		}
+	}
 }

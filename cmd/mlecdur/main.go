@@ -6,15 +6,31 @@
 //
 //	mlecdur -scheme C/D
 //	mlecdur -scheme D/D -sim -trajectories 30000
+//	mlecdur -scheme D/D -sim -timeout 30s -checkpoint dur.ckpt
+//
+// With -sim, the run is interruptible: a -timeout deadline or a single
+// Ctrl-C drains in-flight trajectories and prints partial estimates with
+// honestly widened bounds (a second Ctrl-C exits immediately). With
+// -checkpoint, completed splitting levels are saved so re-running the
+// identical command resumes where the campaign left off and finishes
+// with exactly the result an uninterrupted run would have produced.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"mlec"
+	"mlec/internal/runctl"
 )
+
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mlecdur: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run 'mlecdur -h' for usage")
+	os.Exit(2)
+}
 
 func main() {
 	schemeName := flag.String("scheme", "C/D", "MLEC scheme: C/C, C/D, D/C, D/D")
@@ -26,7 +42,24 @@ func main() {
 	pn := flag.Int("pn", 2, "network parity units")
 	kl := flag.Int("kl", 17, "local data chunks")
 	pl := flag.Int("pl", 3, "local parity chunks")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none); partial results on expiry")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file for the splitting campaign (with -sim)")
 	flag.Parse()
+
+	if *trajectories <= 0 {
+		fatalUsage("-trajectories must be positive, got %d", *trajectories)
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{{"-kn", *kn}, {"-pn", *pn}, {"-kl", *kl}, {"-pl", *pl}} {
+		if f.v <= 0 {
+			fatalUsage("%s must be positive, got %d", f.name, f.v)
+		}
+	}
+	if math.IsNaN(*afr) || math.IsInf(*afr, 0) {
+		fatalUsage("-afr must be finite, got %v", *afr)
+	}
 
 	schemes := map[string]mlec.Scheme{
 		"C/C": mlec.SchemeCC, "C/D": mlec.SchemeCD,
@@ -34,12 +67,16 @@ func main() {
 	}
 	scheme, ok := schemes[*schemeName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "mlecdur: unknown scheme %q\n", *schemeName)
-		os.Exit(2)
+		fatalUsage("unknown scheme %q", *schemeName)
 	}
+
+	ctx, stop := runctl.CLIContext(*timeout)
+	defer stop()
+
 	params := mlec.Params{KN: *kn, PN: *pn, KL: *kl, PL: *pl}
-	ests, err := mlec.EstimateDurability(mlec.DefaultTopology(), params, scheme, mlec.DurabilityOptions{
+	ests, err := mlec.EstimateDurabilityContext(ctx, mlec.DefaultTopology(), params, scheme, mlec.DurabilityOptions{
 		AFR: *afr, UseSimulation: *sim, Trajectories: *trajectories, Seed: *seed,
+		CheckpointPath: *checkpoint,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mlecdur: %v\n", err)
@@ -54,5 +91,14 @@ func main() {
 	for _, e := range ests {
 		fmt.Printf("%-8v  %-22.3g  %-14.1f  %-12.3g  %.1f\n",
 			e.Method, e.CatRatePerPoolHour, e.WindowHours, e.AnnualPDL, e.Nines)
+	}
+	if len(ests) > 0 && ests[0].Partial {
+		fmt.Printf("PARTIAL: splitting campaign interrupted; annual PDL bounded by [%.3g, %.3g] for %v.\n",
+			ests[0].AnnualPDLLo, ests[0].AnnualPDLHi, ests[0].Method)
+		if *checkpoint != "" {
+			fmt.Printf("Re-run the same command to resume from %s.\n", *checkpoint)
+		} else {
+			fmt.Println("Pass -checkpoint to make interrupted campaigns resumable.")
+		}
 	}
 }

@@ -11,15 +11,27 @@
 //	-quick        reduced grids/trials (seconds instead of minutes)
 //	-seed N       RNG seed (default 1)
 //	-afr F        annual disk failure rate (default 0.01)
+//	-timeout D    wall-clock budget; partial renders on expiry
+//	-checkpoint P checkpoint directory for resumable Monte-Carlo runs
+//
+// Runs are interruptible: -timeout or a single Ctrl-C drains the
+// Monte-Carlo engines at the next trial boundary and renders what is
+// done (a second Ctrl-C exits immediately). With -checkpoint, completed
+// work is saved under the directory so re-running the identical command
+// resumes deterministically.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
 	"mlec"
+	"mlec/internal/runctl"
 )
 
 func main() {
@@ -27,8 +39,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	afr := flag.Float64("afr", 0.01, "annual disk failure rate")
 	csv := flag.Bool("csv", false, "emit CSV instead of ASCII heatmaps (fig5/fig13/fig16)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none); partial renders on expiry")
+	checkpoint := flag.String("checkpoint", "", "checkpoint directory for resumable Monte-Carlo experiments")
 	flag.Usage = usage
 	flag.Parse()
+
+	if math.IsNaN(*afr) || math.IsInf(*afr, 0) {
+		fmt.Fprintf(os.Stderr, "mlecsim: -afr must be finite, got %v\n", *afr)
+		fmt.Fprintln(os.Stderr, "run 'mlecsim -h' for usage")
+		os.Exit(2)
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -45,14 +65,37 @@ func main() {
 	if args[0] == "all" {
 		ids = mlec.Experiments()
 	}
-	opts := mlec.ExperimentOptions{Quick: *quick, Seed: *seed, AFR: *afr, CSV: *csv}
+	if *checkpoint != "" {
+		if err := os.MkdirAll(*checkpoint, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mlecsim: -checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	ctx, stop := runctl.CLIContext(*timeout)
+	defer stop()
+
+	opts := mlec.ExperimentOptions{
+		Quick: *quick, Seed: *seed, AFR: *afr, CSV: *csv, CheckpointDir: *checkpoint,
+	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := mlec.RunExperiment(id, opts, os.Stdout); err != nil {
+		if err := mlec.RunExperimentContext(ctx, id, opts, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "mlecsim: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		if err := ctx.Err(); err != nil {
+			what := "interrupted"
+			if errors.Is(err, context.DeadlineExceeded) {
+				what = "timed out"
+			}
+			fmt.Fprintf(os.Stderr, "mlecsim: %s after %s; remaining experiments skipped\n", what, id)
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "Re-run the same command to resume from %s.\n", *checkpoint)
+			}
+			os.Exit(1)
+		}
 	}
 }
 

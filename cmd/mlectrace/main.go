@@ -6,6 +6,10 @@
 //	mlectrace gen -disks 120 -years 5 -afr 0.02 > pool.trace
 //	mlectrace stats < pool.trace
 //	mlectrace replay -disks 120 -kl 17 -pl 3 -dp < pool.trace
+//
+// Every subcommand accepts -timeout and handles Ctrl-C: the first
+// interrupt stops the replay at the next event boundary and reports the
+// span actually covered; a second interrupt exits immediately.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"mlec/internal/failure"
 	"mlec/internal/poolsim"
+	"mlec/internal/runctl"
 )
 
 func main() {
@@ -59,7 +64,13 @@ func cmdGen(args []string) error {
 	shape := fs.Float64("weibull-shape", 0, "use Weibull TTF with this shape instead of exponential")
 	scale := fs.Float64("weibull-scale", 8760*50, "Weibull scale in hours")
 	seed := fs.Int64("seed", 1, "RNG seed")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := runctl.CLIContext(*timeout)
+	defer stop()
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	var ttf failure.TTFDistribution
@@ -80,11 +91,17 @@ func cmdGen(args []string) error {
 
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, stop := runctl.CLIContext(*timeout)
+	defer stop()
 	tr, err := failure.ParseTrace(os.Stdin)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if len(tr.Events) == 0 {
@@ -128,9 +145,15 @@ func cmdReplay(args []string) error {
 	dp := fs.Bool("dp", true, "declustered pool (false: clustered, disks must equal kl+pl)")
 	segments := fs.Int("segments", 120, "simulated chunks per disk")
 	seed := fs.Int64("seed", 1, "layout seed")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none); partial replay on expiry")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *disks <= 0 || *kl <= 0 || *pl <= 0 {
+		return fmt.Errorf("replay: -disks, -kl, and -pl must be positive (got %d, %d, %d)", *disks, *kl, *pl)
+	}
+	ctx, stop := runctl.CLIContext(*timeout)
+	defer stop()
 	tr, err := failure.ParseTrace(os.Stdin)
 	if err != nil {
 		return err
@@ -141,12 +164,15 @@ func cmdReplay(args []string) error {
 		DiskCapacityBytes: 20e12, DiskRepairBW: 40e6,
 		DetectionDelayHours: failure.DefaultDetectionDelayHours,
 	}
-	stats, err := poolsim.ReplayTrace(cfg, tr, 0, *seed)
+	stats, err := poolsim.ReplayTraceContext(ctx, cfg, tr, 0, *seed)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("replayed %.2f pool-years: %d failures applied, %d catastrophic pool events\n",
 		stats.SimYears, stats.DiskFailures, stats.CatastrophicCount)
+	if stats.Partial {
+		fmt.Println("PARTIAL: replay interrupted; statistics cover only the span above.")
+	}
 	for i, smp := range stats.Samples {
 		fmt.Printf("  catastrophe %d at %.1f h: %d failed disks, %d lost stripes\n",
 			i+1, smp.TimeHours, smp.FailedDisks, smp.LostStripes)

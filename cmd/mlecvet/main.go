@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mlecvet [-analyzers name,name] [-list] [patterns...]
+//	mlecvet [-analyzers name,name] [-list] [-timeout D] [patterns...]
 //
 // Patterns default to ./... and support ./dir and ./dir/... forms
 // rooted at the module. The exit status is 0 when the tree is clean, 1
@@ -26,12 +26,17 @@ import (
 	"os"
 
 	"mlec/internal/lint"
+	"mlec/internal/runctl"
 )
 
 func main() {
 	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for loading and analysis (0 = none)")
 	flag.Parse()
+
+	ctx, stop := runctl.CLIContext(*timeout)
+	defer stop()
 
 	if *list {
 		for _, a := range lint.All() {
@@ -61,9 +66,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags, err := lint.Run(pkgs, selected)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mlecvet:", err)
+	type runResult struct {
+		diags []lint.Diagnostic
+		err   error
+	}
+	resc := make(chan runResult, 1)
+	go func() {
+		diags, err := lint.Run(pkgs, selected)
+		resc <- runResult{diags, err}
+	}()
+	var diags []lint.Diagnostic
+	select {
+	case r := <-resc:
+		if r.err != nil {
+			fmt.Fprintln(os.Stderr, "mlecvet:", r.err)
+			os.Exit(2)
+		}
+		diags = r.diags
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "mlecvet:", ctx.Err())
 		os.Exit(2)
 	}
 	bad := false

@@ -17,14 +17,15 @@
 package burst
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"mlec/internal/mathx"
+	"mlec/internal/mathx/rngsplit"
+	"mlec/internal/runctl"
 )
 
 // Result is a PDL estimate for one (x racks, y failures) cell.
@@ -38,6 +39,12 @@ type Result struct {
 	// standard errors of the trial mean instead.
 	Lo, Hi float64
 	Trials int
+	// Partial marks an estimate cut short by context cancellation or
+	// deadline: Trials holds the trials actually completed and the
+	// interval reflects only those, so the CI is honestly wider than a
+	// full run's. A cell cancelled before any batch completed reports
+	// PDL = NaN and Trials = 0.
+	Partial bool
 }
 
 // Nines returns the durability nines of the cell.
@@ -186,68 +193,134 @@ func sortInts(a []int) {
 	}
 }
 
+// Trials are partitioned into fixed batches whose RNG streams are pure
+// functions of (seed, x, y, batch index): the tallies a batch produces
+// do not depend on worker scheduling, which batches ran in the same
+// process, or whether the run was resumed from a checkpoint. Rounds
+// bound how much work is in flight between checkpoint writes and
+// context polls.
+const (
+	pdlBatchTrials = 64
+	pdlRoundSize   = 256
+)
+
 // PDL estimates the probability of data loss for a single (x, y) cell by
-// Monte Carlo over burst layouts, with trials split across CPUs.
+// Monte Carlo over burst layouts, with trials split across CPUs. PDL is
+// PDLContext without cancellation or checkpointing.
 func PDL(ev Evaluator, x, y, trials int, seed int64) (Result, error) {
+	return PDLContext(context.Background(), ev, x, y, trials, seed, "")
+}
+
+// PDLContext is PDL under run control: cancellation or a deadline stops
+// the campaign at the next batch-round boundary, drains in-flight
+// batches, and returns the completed trials as a Partial estimate. With
+// a non-empty checkpointPath the per-batch tallies persist after every
+// round and a later call with the same arguments resumes, reproducing
+// the uninterrupted run's statistics exactly (the reduction always runs
+// in batch order over the same per-batch sums).
+func PDLContext(ctx context.Context, ev Evaluator, x, y, trials int, seed int64, checkpointPath string) (Result, error) {
 	if trials <= 0 {
 		return Result{}, fmt.Errorf("burst: trials = %d", trials)
 	}
 	if y < x || x < 1 || x > ev.TotalRacks() || y > x*ev.DisksPerRack() {
 		return Result{Racks: x, Failures: y, PDL: math.NaN()}, nil
 	}
-	workers := runtime.NumCPU()
-	if workers > trials {
-		workers = trials
+	nb := (trials + pdlBatchTrials - 1) / pdlBatchTrials
+	ck := pdlCheckpoint{
+		Done:  make([]bool, nb),
+		Sums:  make([]float64, nb),
+		Sum2s: make([]float64, nb),
+		Ns:    make([]int, nb),
 	}
-	// Each worker owns a slot; the reduction below runs in worker order
-	// after the barrier. Merging under a mutex in completion order would
-	// make the float sums depend on goroutine scheduling (float addition
-	// is not associative) and break run-to-run reproducibility.
-	type partial struct {
-		sum, sum2 float64
-		n         int
-		err       error
-	}
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		share := trials / workers
-		if w < trials%workers {
-			share++
+	fp := pdlFingerprint(ev, x, y, trials, seed)
+	if checkpointPath != "" {
+		var prev pdlCheckpoint
+		ok, err := runctl.LoadCheckpoint(checkpointPath, pdlCheckpointKind, fp, &prev)
+		if err != nil {
+			return Result{}, err
 		}
-		if share == 0 {
+		if ok {
+			if len(prev.Done) != nb || len(prev.Sums) != nb || len(prev.Sum2s) != nb || len(prev.Ns) != nb {
+				return Result{}, fmt.Errorf("burst: checkpoint %s has %d batches, campaign has %d", checkpointPath, len(prev.Done), nb)
+			}
+			ck = prev
+		}
+	}
+
+	cellSeed := seed ^ int64(x)<<20 ^ int64(y)
+	for start := 0; start < nb; {
+		var round []int
+		for ; start < nb && len(round) < pdlRoundSize; start++ {
+			if !ck.Done[start] {
+				round = append(round, start)
+			}
+		}
+		if len(round) == 0 {
 			continue
 		}
-		wg.Add(1)
-		go func(w, share int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed ^ int64(w)*0x9e3779b97f4a7c ^ int64(x)<<20 ^ int64(y)))
-			p := &parts[w]
-			for i := 0; i < share; i++ {
-				layout, err := SampleLayout(rng, ev.TotalRacks(), ev.DisksPerRack(), x, y)
-				if err != nil {
-					p.err = err
-					return
+		if ctx.Err() != nil {
+			break
+		}
+		pool := runctl.NewPool(ctx)
+		for _, b := range round {
+			b := b
+			stream := rngsplit.Mix(cellSeed, b)
+			pool.Go(stream, func(ctx context.Context) error {
+				if ctx.Err() != nil {
+					return nil // drain: this batch replays on resume
 				}
-				pdl := ev.ConditionalPDL(layout)
-				p.sum += pdl
-				p.sum2 += pdl * pdl
-				p.n++
+				rng := rand.New(rand.NewSource(stream))
+				lo := b * pdlBatchTrials
+				hi := lo + pdlBatchTrials
+				if hi > trials {
+					hi = trials
+				}
+				var sum, sum2 float64
+				for i := lo; i < hi; i++ {
+					layout, err := SampleLayout(rng, ev.TotalRacks(), ev.DisksPerRack(), x, y)
+					if err != nil {
+						return err
+					}
+					pdl := ev.ConditionalPDL(layout)
+					sum += pdl
+					sum2 += pdl * pdl
+				}
+				// Each batch owns distinct slice elements; Wait orders
+				// these writes before the reduction below.
+				ck.Sums[b], ck.Sum2s[b], ck.Ns[b] = sum, sum2, hi-lo
+				ck.Done[b] = true
+				return nil
+			})
+		}
+		if err := pool.Wait(); err != nil {
+			return Result{}, err
+		}
+		if checkpointPath != "" {
+			if err := runctl.SaveCheckpoint(checkpointPath, pdlCheckpointKind, fp, ck); err != nil {
+				return Result{}, err
 			}
-		}(w, share)
+		}
+		if ctx.Err() != nil {
+			break
+		}
 	}
-	wg.Wait()
+
 	var (
 		sum, sum2 float64
 		done      int
+		completed int
 	)
-	for w := range parts {
-		if parts[w].err != nil {
-			return Result{}, parts[w].err
+	for b := 0; b < nb; b++ {
+		if !ck.Done[b] {
+			continue
 		}
-		sum += parts[w].sum
-		sum2 += parts[w].sum2
-		done += parts[w].n
+		completed++
+		sum += ck.Sums[b]
+		sum2 += ck.Sum2s[b]
+		done += ck.Ns[b]
+	}
+	if done == 0 {
+		return Result{Racks: x, Failures: y, PDL: math.NaN(), Lo: 0, Hi: 1, Partial: true}, nil
 	}
 	mean := sum / float64(done)
 	variance := sum2/float64(done) - mean*mean
@@ -262,7 +335,7 @@ func PDL(ev Evaluator, x, y, trials int, seed int64) (Result, error) {
 	if hi > 1 {
 		hi = 1
 	}
-	return Result{Racks: x, Failures: y, PDL: mean, Lo: lo, Hi: hi, Trials: done}, nil
+	return Result{Racks: x, Failures: y, PDL: mean, Lo: lo, Hi: hi, Trials: done, Partial: completed < nb}, nil
 }
 
 // Grid holds a PDL heatmap: Cells[iy][ix] corresponds to Ys[iy] failures
@@ -270,19 +343,86 @@ func PDL(ev Evaluator, x, y, trials int, seed int64) (Result, error) {
 type Grid struct {
 	Xs, Ys []int
 	Cells  [][]Result
+	// Partial marks a grid cut short by cancellation or deadline:
+	// unevaluated cells hold PDL = NaN (and are skipped by WriteCSV),
+	// exactly like the undefined y < x cells.
+	Partial bool
 }
 
-// Heatmap evaluates a whole grid of (x, y) cells.
+// Heatmap evaluates a whole grid of (x, y) cells. Heatmap is
+// HeatmapContext without cancellation or checkpointing.
 func Heatmap(ev Evaluator, xs, ys []int, trials int, seed int64) (*Grid, error) {
+	return HeatmapContext(context.Background(), ev, xs, ys, trials, seed, "")
+}
+
+// HeatmapContext is Heatmap under run control, checkpointing at cell
+// granularity: each fully evaluated cell persists to checkpointPath
+// (when non-empty) and is restored verbatim on resume; a cell cut short
+// mid-campaign is discarded and re-evaluated, so resumed grids match
+// uninterrupted ones exactly. On cancellation the remaining cells are
+// NaN and the grid is marked Partial.
+func HeatmapContext(ctx context.Context, ev Evaluator, xs, ys []int, trials int, seed int64, checkpointPath string) (*Grid, error) {
 	g := &Grid{Xs: xs, Ys: ys, Cells: make([][]Result, len(ys))}
-	for iy, y := range ys {
+	ck := gridCheckpoint{
+		Done:  make([][]bool, len(ys)),
+		Cells: make([][]Result, len(ys)),
+	}
+	for iy := range ys {
 		g.Cells[iy] = make([]Result, len(xs))
+		ck.Done[iy] = make([]bool, len(xs))
+		ck.Cells[iy] = make([]Result, len(xs))
+	}
+	fp := gridFingerprint(ev, xs, ys, trials, seed)
+	if checkpointPath != "" {
+		var prev gridCheckpoint
+		ok, err := runctl.LoadCheckpoint(checkpointPath, gridCheckpointKind, fp, &prev)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if len(prev.Done) != len(ys) || len(prev.Cells) != len(ys) {
+				return nil, fmt.Errorf("burst: checkpoint %s grid shape mismatch", checkpointPath)
+			}
+			for iy := range ys {
+				if len(prev.Done[iy]) != len(xs) || len(prev.Cells[iy]) != len(xs) {
+					return nil, fmt.Errorf("burst: checkpoint %s grid shape mismatch", checkpointPath)
+				}
+			}
+			ck = prev
+		}
+	}
+
+	for iy, y := range ys {
 		for ix, x := range xs {
-			r, err := PDL(ev, x, y, trials, seed+int64(iy*len(xs)+ix))
+			if ck.Done[iy][ix] {
+				g.Cells[iy][ix] = ck.Cells[iy][ix]
+				continue
+			}
+			if ctx.Err() != nil {
+				g.Partial = true
+				g.Cells[iy][ix] = Result{Racks: x, Failures: y, PDL: math.NaN()}
+				continue
+			}
+			r, err := PDLContext(ctx, ev, x, y, trials, seed+int64(iy*len(xs)+ix), "")
 			if err != nil {
 				return nil, err
 			}
+			if r.Partial {
+				// Mid-cell cancellation: discard so the cell re-runs in
+				// full on resume rather than entering the grid with a
+				// different trial count.
+				g.Partial = true
+				g.Cells[iy][ix] = Result{Racks: x, Failures: y, PDL: math.NaN()}
+				continue
+			}
 			g.Cells[iy][ix] = r
+			ck.Done[iy][ix] = true
+			ck.Cells[iy][ix] = r
+			if checkpointPath != "" {
+				if err := runctl.SaveCheckpoint(checkpointPath, gridCheckpointKind, fp, ck); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 	return g, nil

@@ -1,0 +1,43 @@
+package burst
+
+import "fmt"
+
+// Checkpoint kinds inside the runctl envelope; LoadCheckpoint rejects
+// files written by other estimators.
+const (
+	pdlCheckpointKind  = "burst.pdl"
+	gridCheckpointKind = "burst.grid"
+)
+
+// pdlCheckpoint holds the per-batch tallies of one (x, y) cell. Each
+// batch's sums are pure functions of (seed, x, y, batch index), so the
+// reduction over them in batch order is independent of which process —
+// original or resumed — computed which batch.
+type pdlCheckpoint struct {
+	Done  []bool    `json:"done"`
+	Sums  []float64 `json:"sums"`
+	Sum2s []float64 `json:"sum2s"`
+	Ns    []int     `json:"ns"`
+}
+
+// gridCheckpoint holds fully evaluated heatmap cells; partially
+// evaluated cells are never stored.
+type gridCheckpoint struct {
+	Done  [][]bool   `json:"done"`
+	Cells [][]Result `json:"cells"`
+}
+
+// pdlFingerprint binds a cell checkpoint to its campaign. The Evaluator
+// is an interface, so only its topology dimensions enter the
+// fingerprint — callers changing the erasure-code geometry behind the
+// same (racks, disks-per-rack) topology must also change the seed or
+// the checkpoint path.
+func pdlFingerprint(ev Evaluator, x, y, trials int, seed int64) string {
+	return fmt.Sprintf("x=%d|y=%d|trials=%d|seed=%d|racks=%d|dpr=%d",
+		x, y, trials, seed, ev.TotalRacks(), ev.DisksPerRack())
+}
+
+func gridFingerprint(ev Evaluator, xs, ys []int, trials int, seed int64) string {
+	return fmt.Sprintf("xs=%v|ys=%v|trials=%d|seed=%d|racks=%d|dpr=%d",
+		xs, ys, trials, seed, ev.TotalRacks(), ev.DisksPerRack())
+}

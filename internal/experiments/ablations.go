@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -211,7 +212,7 @@ func (r *AblationStripeWidthResult) Render(w io.Writer) error {
 
 func init() {
 	register("ablation-detection", "durability vs failure-detection time (MLEC vs LRC)",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := AblationDetection(opts)
 			if err != nil {
 				return err
@@ -219,7 +220,7 @@ func init() {
 			return r.Render(w)
 		})
 	register("ablation-poolsize", "local-Dp pool size vs repair speed and burst PDL",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := AblationPoolSize(opts)
 			if err != nil {
 				return err
@@ -227,7 +228,7 @@ func init() {
 			return r.Render(w)
 		})
 	register("ablation-stripewidth", "local stripe width vs lost-stripe fraction and repair traffic",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := AblationStripeWidth(opts)
 			if err != nil {
 				return err
@@ -288,7 +289,7 @@ func (r *AblationCoresResult) Render(w io.Writer) error {
 
 func init() {
 	register("ablation-cores", "multi-core encoding throughput scaling",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := AblationCores(opts)
 			if err != nil {
 				return err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -43,7 +44,7 @@ func poolSimConfig(local placement.Kind, opts Options) poolsim.Config {
 // placement kinds. Quick mode uses the Markov R_ALL view with the
 // analytic lost-stripe fraction; full mode runs the poolsim splitting
 // estimator (the paper's stage 1).
-func stage1ByLocal(opts Options) (map[placement.Kind]splitting.Stage1, error) {
+func stage1ByLocal(ctx context.Context, opts Options) (map[placement.Kind]splitting.Stage1, error) {
 	out := map[placement.Kind]splitting.Stage1{}
 	params := paperParams()
 	if opts.Quick {
@@ -70,11 +71,16 @@ func stage1ByLocal(opts Options) (map[placement.Kind]splitting.Stage1, error) {
 	}
 	for _, kind := range []placement.Kind{placement.Clustered, placement.Declustered} {
 		cfg := poolSimConfig(kind, opts)
-		res, err := poolsim.Split(cfg, ttf, poolsim.SplitConfig{
+		res, err := poolsim.SplitContext(ctx, cfg, ttf, poolsim.SplitConfig{
 			TrajectoriesPerLevel: 20000, Seed: opts.Seed,
+			CheckpointPath: opts.checkpointPath("stage1-" + kind.String()),
 		})
 		if err != nil {
 			return nil, err
+		}
+		if res.Partial {
+			return nil, fmt.Errorf("experiments: stage-1 splitting for %v interrupted after %d levels (resume with the same checkpoint dir): %w",
+				kind, len(res.LevelProbs), ctx.Err())
 		}
 		out[kind] = splitting.Stage1FromSplit(cfg, res)
 	}
@@ -89,8 +95,15 @@ type Fig7Result struct {
 }
 
 // Fig7 estimates the probability of catastrophic local failure (§4.1.3).
+// Fig7 is Fig7Context without cancellation.
 func Fig7(opts Options) (*Fig7Result, error) {
-	s1, err := stage1ByLocal(opts)
+	return Fig7Context(context.Background(), opts)
+}
+
+// Fig7Context is Fig7 under run control; the stage-1 splitting estimator
+// checkpoints under opts.CheckpointDir and resumes deterministically.
+func Fig7Context(ctx context.Context, opts Options) (*Fig7Result, error) {
+	s1, err := stage1ByLocal(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -122,9 +135,16 @@ type Fig10Result struct {
 }
 
 // Fig10 estimates system durability for the four schemes × four repair
-// methods (§4.2.3).
+// methods (§4.2.3). Fig10 is Fig10Context without cancellation.
 func Fig10(opts Options) (*Fig10Result, error) {
-	s1, err := stage1ByLocal(opts)
+	return Fig10Context(context.Background(), opts)
+}
+
+// Fig10Context is Fig10 under run control; the stage-1 splitting
+// estimator checkpoints under opts.CheckpointDir and resumes
+// deterministically.
+func Fig10Context(ctx context.Context, opts Options) (*Fig10Result, error) {
+	s1, err := stage1ByLocal(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -159,16 +179,16 @@ func (r *Fig10Result) Render(w io.Writer) error {
 
 func init() {
 	register("fig7", "probability of catastrophic local failure per scheme",
-		func(opts Options, w io.Writer) error {
-			r, err := Fig7(opts)
+		func(ctx context.Context, opts Options, w io.Writer) error {
+			r, err := Fig7Context(ctx, opts)
 			if err != nil {
 				return err
 			}
 			return r.Render(w)
 		})
 	register("fig10", "durability (nines) per scheme and repair method",
-		func(opts Options, w io.Writer) error {
-			r, err := Fig10(opts)
+		func(ctx context.Context, opts Options, w io.Writer) error {
+			r, err := Fig10Context(ctx, opts)
 			if err != nil {
 				return err
 			}

@@ -5,8 +5,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 
 	"mlec/internal/placement"
@@ -26,6 +28,12 @@ type Options struct {
 	// CSV switches renders that support it (the PDL heatmaps) from
 	// ASCII art to machine-readable CSV.
 	CSV bool
+	// CheckpointDir, when non-empty, makes the Monte-Carlo experiments
+	// (heatmaps, splitting stage 1, the full-system simulation driver)
+	// checkpoint their estimator state there and resume interrupted
+	// runs deterministically. Each experiment derives its own file
+	// names, so one directory serves a whole campaign.
+	CheckpointDir string
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -41,8 +49,20 @@ func (o Options) afr() float64 {
 // lambda returns the per-hour failure rate implied by the AFR.
 func (o Options) lambda() float64 { return o.afr() / 8760 }
 
-// Runner is the common shape of an experiment entry point.
-type Runner func(opts Options, w io.Writer) error
+// checkpointPath returns the checkpoint file for a named campaign, or
+// "" (checkpointing disabled) when no CheckpointDir is set.
+func (o Options) checkpointPath(name string) string {
+	if o.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(o.CheckpointDir, name+".ckpt")
+}
+
+// Runner is the common shape of an experiment entry point. Runners
+// observe ctx: the Monte-Carlo drivers stop at the next trial boundary
+// on cancellation and render what they have (partial heatmap cells stay
+// NaN); analytic drivers may finish their (cheap) computation.
+type Runner func(ctx context.Context, opts Options, w io.Writer) error
 
 // registry maps experiment ids to runners; populated by init() calls in
 // the per-figure files.
@@ -55,13 +75,21 @@ func register(id, desc string, r Runner) {
 	descriptions[id] = desc
 }
 
-// Run executes the experiment with the given id, rendering to w.
+// Run executes the experiment with the given id, rendering to w. Run is
+// RunContext without cancellation.
 func Run(id string, opts Options, w io.Writer) error {
+	return RunContext(context.Background(), id, opts, w)
+}
+
+// RunContext executes the experiment under run control: cancellation or
+// a deadline stops the Monte-Carlo engines at the next trial boundary
+// and the driver renders the partial result it has.
+func RunContext(ctx context.Context, id string, opts Options, w io.Writer) error {
 	r, ok := registry[id]
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (try List())", id)
 	}
-	return r(opts, w)
+	return r(ctx, opts, w)
 }
 
 // List returns the registered experiment ids in sorted order.

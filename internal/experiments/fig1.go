@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -73,5 +74,5 @@ func (r *Fig1Result) Render(w io.Writer) error {
 
 func init() {
 	register("fig1", "storage scaling dataset (disks per system, capacity per disk)",
-		func(opts Options, w io.Writer) error { return Fig1(opts).Render(w) })
+		func(ctx context.Context, opts Options, w io.Writer) error { return Fig1(opts).Render(w) })
 }

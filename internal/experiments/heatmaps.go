@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -54,8 +55,14 @@ type Fig5Result struct {
 }
 
 // Fig5 evaluates PDL under correlated failure bursts for the four MLEC
-// schemes (§4.1.1).
+// schemes (§4.1.1). Fig5 is Fig5Context without cancellation.
 func Fig5(opts Options) (*Fig5Result, error) {
+	return Fig5Context(context.Background(), opts)
+}
+
+// Fig5Context is Fig5 under run control, checkpointing each scheme's
+// grid separately under opts.CheckpointDir.
+func Fig5Context(ctx context.Context, opts Options) (*Fig5Result, error) {
 	xs, ys, trials := heatmapGrid(opts)
 	res := &Fig5Result{Grids: map[placement.Scheme]*burst.Grid{}}
 	for _, s := range placement.AllSchemes {
@@ -63,7 +70,8 @@ func Fig5(opts Options) (*Fig5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		g, err := burst.Heatmap(burst.NewMLECEvaluator(l), xs, ys, trials, opts.Seed)
+		g, err := burst.HeatmapContext(ctx, burst.NewMLECEvaluator(l), xs, ys, trials, opts.Seed,
+			opts.checkpointPath("fig5-"+s.String()))
 		if err != nil {
 			return nil, err
 		}
@@ -90,8 +98,15 @@ type Fig13Result struct {
 }
 
 // Fig13 evaluates burst PDL for the four SLEC placements with the
-// paper's (7+3) code (§5.1.3).
+// paper's (7+3) code (§5.1.3). Fig13 is Fig13Context without
+// cancellation.
 func Fig13(opts Options) (*Fig13Result, error) {
+	return Fig13Context(context.Background(), opts)
+}
+
+// Fig13Context is Fig13 under run control, checkpointing each
+// placement's grid separately under opts.CheckpointDir.
+func Fig13Context(ctx context.Context, opts Options) (*Fig13Result, error) {
 	xs, ys, trials := heatmapGrid(opts)
 	params := placement.SLECParams{K: 7, P: 3}
 	res := &Fig13Result{Params: params, Grids: map[placement.SLECPlacement]*burst.Grid{}}
@@ -100,7 +115,8 @@ func Fig13(opts Options) (*Fig13Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		g, err := burst.Heatmap(burst.NewSLECEvaluator(l), xs, ys, trials, opts.Seed)
+		g, err := burst.HeatmapContext(ctx, burst.NewSLECEvaluator(l), xs, ys, trials, opts.Seed,
+			opts.checkpointPath("fig13-"+pl.String()))
 		if err != nil {
 			return nil, err
 		}
@@ -127,14 +143,21 @@ type Fig16Result struct {
 }
 
 // Fig16 evaluates burst PDL for the paper's (14,2,4) LRC-Dp (§5.2.3).
+// Fig16 is Fig16Context without cancellation.
 func Fig16(opts Options) (*Fig16Result, error) {
+	return Fig16Context(context.Background(), opts)
+}
+
+// Fig16Context is Fig16 under run control.
+func Fig16Context(ctx context.Context, opts Options) (*Fig16Result, error) {
 	xs, ys, trials := heatmapGrid(opts)
 	params := placement.LRCParams{K: 14, L: 2, R: 4}
 	l, err := placement.NewLRCLayout(paperTopo(), params)
 	if err != nil {
 		return nil, err
 	}
-	g, err := burst.Heatmap(burst.NewLRCEvaluator(l, opts.Seed), xs, ys, trials, opts.Seed)
+	g, err := burst.HeatmapContext(ctx, burst.NewLRCEvaluator(l, opts.Seed), xs, ys, trials, opts.Seed,
+		opts.checkpointPath("fig16"))
 	if err != nil {
 		return nil, err
 	}
@@ -156,8 +179,8 @@ func writeGridCSV(w io.Writer, label string, g *burst.Grid) error {
 
 func init() {
 	register("fig5", "MLEC PDL heatmaps under correlated failure bursts (4 schemes)",
-		func(opts Options, w io.Writer) error {
-			r, err := Fig5(opts)
+		func(ctx context.Context, opts Options, w io.Writer) error {
+			r, err := Fig5Context(ctx, opts)
 			if err != nil {
 				return err
 			}
@@ -172,8 +195,8 @@ func init() {
 			return r.Render(w)
 		})
 	register("fig13", "SLEC PDL heatmaps under correlated failure bursts (4 placements)",
-		func(opts Options, w io.Writer) error {
-			r, err := Fig13(opts)
+		func(ctx context.Context, opts Options, w io.Writer) error {
+			r, err := Fig13Context(ctx, opts)
 			if err != nil {
 				return err
 			}
@@ -188,8 +211,8 @@ func init() {
 			return r.Render(w)
 		})
 	register("fig16", "LRC-Dp PDL heatmap under correlated failure bursts",
-		func(opts Options, w io.Writer) error {
-			r, err := Fig16(opts)
+		func(ctx context.Context, opts Options, w io.Writer) error {
+			r, err := Fig16Context(ctx, opts)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -201,7 +202,7 @@ func (r *Sec5TrafficResult) Render(w io.Writer) error {
 
 func init() {
 	register("tab1", "failure-mode taxonomy demonstrated on a live cluster",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := Tab1(opts)
 			if err != nil {
 				return err
@@ -209,7 +210,7 @@ func init() {
 			return r.Render(w)
 		})
 	register("fig14", "LRC (4,2,2) layout and local-repair demonstration",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := Fig14(opts)
 			if err != nil {
 				return err
@@ -217,7 +218,7 @@ func init() {
 			return r.Render(w)
 		})
 	register("sec514", "repair network traffic: network SLEC vs MLEC",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := Sec5Traffic(opts)
 			if err != nil {
 				return err
@@ -225,7 +226,7 @@ func init() {
 			return r.Render(w)
 		})
 	register("sec524", "repair network traffic: LRC vs MLEC",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := Sec5Traffic(opts)
 			if err != nil {
 				return err

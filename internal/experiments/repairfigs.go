@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -142,7 +143,7 @@ func (r *Fig9Result) Render(w io.Writer) error {
 
 func init() {
 	register("tab2", "repair size and available repair bandwidth per MLEC scheme",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := Fig6Tab2(opts)
 			if err != nil {
 				return err
@@ -150,7 +151,7 @@ func init() {
 			return r.Render(w)
 		})
 	register("fig6", "repair time under single-disk and catastrophic local failures",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := Fig6Tab2(opts)
 			if err != nil {
 				return err
@@ -158,7 +159,7 @@ func init() {
 			return r.Render(w)
 		})
 	register("fig8", "cross-rack repair traffic of the four repair methods",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := Fig8(opts)
 			if err != nil {
 				return err
@@ -166,7 +167,7 @@ func init() {
 			return r.Render(w)
 		})
 	register("fig9", "network/local repair time of the four repair methods",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := Fig9(opts)
 			if err != nil {
 				return err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,6 +26,13 @@ type SysSimResult struct {
 // and catastrophic-pool incidence; data-loss events need the splitting
 // estimator (they are too rare to observe directly, which is the point).
 func SysSim(opts Options) (*SysSimResult, error) {
+	return SysSimContext(context.Background(), opts)
+}
+
+// SysSimContext is SysSim under run control: cancellation or a deadline
+// stops each scheme's simulation at the next event boundary and the
+// partial runs report the span they actually covered (Stats.Partial).
+func SysSimContext(ctx context.Context, opts Options) (*SysSimResult, error) {
 	years := 25.0
 	if opts.Quick {
 		years = 5
@@ -46,7 +54,7 @@ func SysSim(opts Options) (*SysSimResult, error) {
 			SegmentsPerDisk: 60,
 			TTF:             ttf,
 		}
-		stats, err := syssim.Run(cfg, years, opts.Seed)
+		stats, err := syssim.RunContext(ctx, cfg, years, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -77,8 +85,8 @@ func (r *SysSimResult) Render(w io.Writer) error {
 
 func init() {
 	register("syssim", "full-system simulation of the 57,600-disk datacenter (all schemes)",
-		func(opts Options, w io.Writer) error {
-			r, err := SysSim(opts)
+		func(ctx context.Context, opts Options, w io.Writer) error {
+			r, err := SysSimContext(ctx, opts)
 			if err != nil {
 				return err
 			}

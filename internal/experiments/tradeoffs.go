@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -280,7 +281,7 @@ func (r *Fig15Result) Render(w io.Writer) error {
 
 func init() {
 	register("fig11", "encoding throughput heatmap over (k, p)",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := Fig11(opts)
 			if err != nil {
 				return err
@@ -288,7 +289,7 @@ func init() {
 			return r.Render(w)
 		})
 	register("fig12", "MLEC vs SLEC durability/throughput tradeoff at ~30% overhead",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := Fig12(opts)
 			if err != nil {
 				return err
@@ -296,7 +297,7 @@ func init() {
 			return r.Render(w)
 		})
 	register("fig15", "MLEC vs LRC durability/throughput tradeoff at ~30% overhead",
-		func(opts Options, w io.Writer) error {
+		func(ctx context.Context, opts Options, w io.Writer) error {
 			r, err := Fig15(opts)
 			if err != nil {
 				return err

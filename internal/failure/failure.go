@@ -169,6 +169,13 @@ func ParseTrace(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("failure: trace line %d: bad time: %w", lineNo, err)
 		}
+		// ParseFloat happily returns NaN and ±Inf for "NaN"/"Inf"
+		// spellings, and NaN also slips through the tm < 0 check below
+		// (every NaN comparison is false) — reject non-finite times
+		// explicitly before they poison the event queue.
+		if math.IsNaN(tm) || math.IsInf(tm, 0) {
+			return nil, fmt.Errorf("failure: trace line %d: non-finite time %q", lineNo, strings.TrimSpace(parts[1]))
+		}
 		if disk < 0 || tm < 0 {
 			return nil, fmt.Errorf("failure: trace line %d: negative field", lineNo)
 		}

@@ -2,6 +2,7 @@ package failure
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"math/rand"
 	"strings"
@@ -140,5 +141,34 @@ func TestParseTraceErrors(t *testing.T) {
 		if _, err := ParseTrace(strings.NewReader(in)); err == nil {
 			t.Errorf("input %q accepted", in)
 		}
+	}
+}
+
+func TestParseTraceRejectsNonFinite(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		line int // expected line number in the error
+	}{
+		{"nan time", "1,NaN\n", 1},
+		{"nan time lowercase", "1,nan\n", 1},
+		{"positive inf time", "1,+Inf\n", 1},
+		{"negative inf time", "1,-Inf\n", 1},
+		{"bare inf time", "1,Inf\n", 1},
+		{"overflowing time", "1,1e999\n", 1},
+		{"nan after valid lines", "# header\n0,1.0\n2,NaN\n", 3},
+		{"inf after blank line", "\n0,1.0\n\n2,Inf\n", 4},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTrace(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("input %q accepted", tc.in)
+			}
+			want := fmt.Sprintf("line %d", tc.line)
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q does not name %s", err, want)
+			}
+		})
 	}
 }

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// BareGo forbids bare `go` statements in library code: every fan-out
+// must go through runctl.Pool.Go.
+//
+// A bare goroutine is invisible to the run-control layer — it cannot be
+// drained on cancellation, its panics crash the whole process instead
+// of surfacing as a typed *runctl.PanicError with the offending RNG
+// stream, and the leak check (runctl.Live) cannot see it. The runctl
+// package itself is exempt: it is where the one legitimate `go`
+// statement per worker lives.
+var BareGo = &Analyzer{
+	Name: "barego",
+	Doc:  "forbid bare go statements outside runctl; fan out through runctl.Pool",
+	Run:  runBareGo,
+}
+
+func runBareGo(pass *Pass) error {
+	if !isLibraryPackage(pass.Pkg) {
+		return nil
+	}
+	if pass.Pkg.Path() == "mlec/internal/runctl" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			pass.Report(g.Pos(),
+				"bare go statement escapes run control (no drain, no panic containment); use runctl.Pool.Go")
+			return true
+		})
+	}
+	return nil
+}

@@ -133,6 +133,7 @@ func All() []*Analyzer {
 		FloatEq,
 		NakedPanic,
 		WaitGroupCapture,
+		BareGo,
 	}
 }
 

@@ -149,6 +149,7 @@ func TestAnalyzers(t *testing.T) {
 		{FloatEq, "floateq"},
 		{NakedPanic, "nakedpanic"},
 		{WaitGroupCapture, "waitgroupcapture"},
+		{BareGo, "barego"},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {

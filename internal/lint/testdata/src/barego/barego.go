@@ -1,0 +1,41 @@
+// Fixture for the barego analyzer: bare go statements in library code
+// must be reported; suppressed and indirect forms must not.
+package barego
+
+import "sync"
+
+func fanOutBare(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `bare go statement`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func namedWorker() {}
+
+func launchNamed() {
+	go namedWorker() // want `bare go statement`
+}
+
+func nested() {
+	f := func() {
+		go namedWorker() // want `bare go statement`
+	}
+	f()
+}
+
+func allowed() {
+	//lint:allow barego bounded helper goroutine joined immediately below
+	go namedWorker()
+}
+
+// deferredCall is a negative case: calling a function value is not a go
+// statement.
+func deferredCall() {
+	defer namedWorker()
+	namedWorker()
+}

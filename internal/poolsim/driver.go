@@ -1,6 +1,7 @@
 package poolsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -25,6 +26,10 @@ type RunStats struct {
 	Samples           []CatSample
 	// MaxConcurrentFailures observed, a useful diagnostic.
 	MaxConcurrentFailures int
+	// Partial marks a run stopped early by context cancellation or
+	// deadline. SimYears then holds the simulated span actually
+	// covered, so CatRatePerPoolHour stays an honest rate.
+	Partial bool
 }
 
 // CatRatePerPoolHour returns the observed catastrophic event rate.
@@ -148,11 +153,37 @@ func (dr *driver) resetPool() {
 	dr.repairEv = nil
 }
 
+// runPolled fires events up to horizon, checking ctx between batches of
+// events. It returns true when the run completed and false when it was
+// cut short by cancellation; either way the engine clock ends at the
+// last fired event (or horizon on completion).
+func (dr *driver) runPolled(ctx context.Context, horizon float64) bool {
+	const pollEvery = 1024
+	for i := 0; ; i++ {
+		if i%pollEvery == 0 && ctx.Err() != nil {
+			return false
+		}
+		next, ok := dr.eng.NextTime()
+		if !ok || next > horizon {
+			dr.eng.RunUntil(horizon) // advance the clock; no events fire
+			return true
+		}
+		dr.eng.Step()
+	}
+}
+
 // LongRun simulates one pool for the given number of years and returns
 // event statistics. After each catastrophic event the pool is reset (the
 // network level takes over in the full system; here we only measure the
-// pool-level rate).
+// pool-level rate). LongRun is LongRunContext without cancellation.
 func LongRun(cfg Config, ttf failure.TTFDistribution, years float64, seed int64) (RunStats, error) {
+	return LongRunContext(context.Background(), cfg, ttf, years, seed)
+}
+
+// LongRunContext is LongRun under run control: on cancellation or
+// deadline the simulation stops at the next event boundary and returns
+// the statistics over the span actually simulated, marked Partial.
+func LongRunContext(ctx context.Context, cfg Config, ttf failure.TTFDistribution, years float64, seed int64) (RunStats, error) {
 	pool, err := NewPool(cfg, seed)
 	if err != nil {
 		return RunStats{}, err
@@ -167,7 +198,11 @@ func LongRun(cfg Config, ttf failure.TTFDistribution, years float64, seed int64)
 	for d := 0; d < cfg.Disks; d++ {
 		dr.scheduleFailure(d)
 	}
-	dr.eng.RunUntil(years * failure.HoursPerYear)
-	dr.stats.SimYears = years
+	if dr.runPolled(ctx, years*failure.HoursPerYear) {
+		dr.stats.SimYears = years
+	} else {
+		dr.stats.Partial = true
+		dr.stats.SimYears = dr.eng.Now() / failure.HoursPerYear
+	}
 	return dr.stats, nil
 }

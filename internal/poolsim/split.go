@@ -1,13 +1,14 @@
 package poolsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"mlec/internal/failure"
+	"mlec/internal/runctl"
 	"mlec/internal/sim"
 )
 
@@ -24,6 +25,19 @@ type SplitConfig struct {
 	// from deeper levels are O((λ·T_repair)^depth) smaller.
 	MaxLevel int
 	Seed     int64
+	// CheckpointPath, when non-empty, persists the estimator state
+	// after every completed level (versioned, atomic; see runctl) and
+	// resumes from a compatible checkpoint at the same path. A resumed
+	// run produces statistics identical to an uninterrupted one: the
+	// per-trajectory RNG streams are pure functions of (Seed, level,
+	// index), so only the level-entry snapshots and completed tallies
+	// need to persist.
+	CheckpointPath string
+
+	// onLevelDone, when set, runs after each completed level (after the
+	// checkpoint write). Test hook for deterministic mid-run
+	// cancellation.
+	onLevelDone func(level int)
 }
 
 // SplitResult is the splitting estimate.
@@ -34,14 +48,31 @@ type SplitResult struct {
 	// CatFractions[i] = P(the up-transition out of level i+1 is
 	// catastrophic | entered level i+1).
 	CatFractions []float64
+	// LevelTrajectories[i] is the number of trajectories that produced
+	// the level-(i+1) tallies.
+	LevelTrajectories []int
 	// CatRatePerPoolHour is the assembled catastrophic event rate.
 	CatRatePerPoolHour float64
+	// CatRateLo and CatRateHi bound the rate at 95% confidence:
+	// ±1.96 standard errors from the per-level binomial variances
+	// (weight uncertainty neglected), with CatRateHi additionally
+	// including the exact upper bound on the unexplored deeper levels
+	// (the residual splitting weight — every deeper cascade is at most
+	// certain). A Partial run therefore reports an honestly widened
+	// interval: the missing levels show up as tail slack in CatRateHi.
+	CatRateLo, CatRateHi float64
 	// Samples holds pool states at (simulated) catastrophic events.
 	Samples []CatSample
 	// EntryShortfall reports levels where the previous level produced
 	// fewer distinct entry snapshots than trajectories (resampling with
 	// replacement was used).
 	EntryShortfall []int
+	// Partial marks an estimate cut short by context cancellation or
+	// deadline: levels beyond the last completed one are missing and
+	// CatRateHi carries the full unexplored-tail bound. A partially
+	// simulated level is discarded (its trajectories replay from the
+	// checkpoint on resume), keeping resumed runs deterministic.
+	Partial bool
 }
 
 // CatProbPerPoolYear converts the rate to an annual per-pool probability.
@@ -65,11 +96,27 @@ const (
 	outcomeCat
 )
 
+// trajSeed derives the pure per-trajectory RNG stream: identical
+// regardless of worker scheduling, which is what makes both run-to-run
+// reproducibility and checkpoint-resume determinism possible.
+func trajSeed(seed int64, level, i int) int64 {
+	return seed ^ (int64(level) << 32) ^ int64(i)*0x9e3779b9
+}
+
 // Split estimates the catastrophic-pool rate by multilevel splitting.
 // The failure process must be exponential (memoryless) — level
 // trajectories re-arm failure clocks at entry, which is only valid
-// without ageing.
+// without ageing. Split is SplitContext without cancellation.
 func Split(cfg Config, ttf failure.Exponential, sc SplitConfig) (SplitResult, error) {
+	return SplitContext(context.Background(), cfg, ttf, sc)
+}
+
+// SplitContext is Split under run control: ctx cancellation (or
+// deadline) stops the campaign at the next trajectory boundary, drains
+// in-flight trajectories, and returns the completed levels as a Partial
+// estimate with a widened confidence interval. With a CheckpointPath
+// the run resumes from the last completed level instead of restarting.
+func SplitContext(ctx context.Context, cfg Config, ttf failure.Exponential, sc SplitConfig) (SplitResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return SplitResult{}, err
 	}
@@ -84,41 +131,82 @@ func Split(cfg Config, ttf failure.Exponential, sc SplitConfig) (SplitResult, er
 	if maxLevel < cfg.Parity+1 {
 		return SplitResult{}, fmt.Errorf("poolsim: MaxLevel %d below pl+1 = %d", maxLevel, cfg.Parity+1)
 	}
-	rng := rand.New(rand.NewSource(sc.Seed ^ 0x51717))
 	base, err := NewPool(cfg, sc.Seed)
 	if err != nil {
 		return SplitResult{}, err
 	}
 
 	res := SplitResult{}
-	// Level-1 entries: fresh pool with one random failed disk.
-	entries := make([]*snapshot, 0, n)
-	for i := 0; i < n; i++ {
-		p := base.Clone()
-		d := p.RandomHealthyDisk(rng)
-		p.FailDisk(d)
-		entries = append(entries, &snapshot{
-			pool:            p,
-			detectRemaining: map[int]float64{d: cfg.DetectionDelayHours},
-		})
-	}
-
-	weight := 1.0 // Π P_j over completed levels
 	lambda := ttf.RatePerHour
 	beta0 := float64(cfg.Disks) * lambda // rate of 0 → 1 transitions
-	var rate float64
 
-	for level := 1; level <= maxLevel && len(entries) > 0; level++ {
+	// Running estimator state; persisted at level boundaries.
+	var (
+		startLevel = 1
+		weight     = 1.0 // Π P_j over completed levels
+		rateSum    float64
+		varSum     float64
+		entries    []*snapshot
+	)
+	fingerprint := splitFingerprint(cfg, ttf, n, maxLevel, sc.Seed)
+	resumed := false
+	if sc.CheckpointPath != "" {
+		var ck splitCheckpoint
+		ok, err := runctl.LoadCheckpoint(sc.CheckpointPath, splitCheckpointKind, fingerprint, &ck)
+		if err != nil {
+			return SplitResult{}, err
+		}
+		if ok {
+			entries, err = decodeSnapshots(base, ck.Entries)
+			if err != nil {
+				return SplitResult{}, fmt.Errorf("poolsim: checkpoint %s: %w", sc.CheckpointPath, err)
+			}
+			startLevel = ck.NextLevel
+			weight = ck.Weight
+			rateSum = ck.RateSum
+			varSum = ck.VarSum
+			res.LevelProbs = ck.LevelProbs
+			res.CatFractions = ck.CatFractions
+			res.LevelTrajectories = ck.LevelTrajectories
+			res.EntryShortfall = ck.EntryShortfall
+			res.Samples = ck.Samples
+			resumed = true
+		}
+	}
+	if !resumed {
+		// Level-1 entries: fresh pool with one random failed disk.
+		rng := rand.New(rand.NewSource(sc.Seed ^ 0x51717))
+		entries = make([]*snapshot, 0, n)
+		for i := 0; i < n; i++ {
+			p := base.Clone()
+			d := p.RandomHealthyDisk(rng)
+			p.FailDisk(d)
+			entries = append(entries, &snapshot{
+				pool:            p,
+				detectRemaining: map[int]float64{d: cfg.DetectionDelayHours},
+			})
+		}
+	}
+
+	for level := startLevel; level <= maxLevel && len(entries) > 0; level++ {
+		if ctx.Err() != nil {
+			res.Partial = true
+			break
+		}
 		// Trajectories are independent given the entry set; run them on
-		// all CPUs. Per-trajectory RNGs are seeded by (level, index) so
-		// the result is identical regardless of scheduling.
+		// all CPUs through the runctl pool so a panicking trajectory
+		// surfaces as a typed error with its RNG stream instead of
+		// killing the campaign. Per-trajectory RNGs are seeded by
+		// (level, index) so the result is identical regardless of
+		// scheduling.
 		type slot struct {
 			outcome trajectoryOutcome
 			next    *snapshot
 			cat     *CatSample
+			done    bool
 		}
 		slots := make([]slot, n)
-		var wg sync.WaitGroup
+		pool := runctl.NewPool(ctx)
 		workers := runtime.NumCPU()
 		if workers > n {
 			workers = n
@@ -132,18 +220,36 @@ func Split(cfg Config, ttf failure.Exponential, sc SplitConfig) (SplitResult, er
 			if lo >= hi {
 				continue
 			}
-			wg.Add(1)
-			go func(level, lo, hi int) {
-				defer wg.Done()
+			level := level
+			pool.Go(trajSeed(sc.Seed, level, lo), func(ctx context.Context) error {
 				for i := lo; i < hi; i++ {
-					trng := rand.New(rand.NewSource(sc.Seed ^ (int64(level) << 32) ^ int64(i)*0x9e3779b9))
-					entry := entries[trng.Intn(len(entries))]
-					outcome, next, catSample := runTrajectory(cfg, ttf, entry, trng)
-					slots[i] = slot{outcome, next, catSample}
+					if ctx.Err() != nil {
+						return nil // drain: finish nothing new, keep what's done
+					}
+					stream := trajSeed(sc.Seed, level, i)
+					var out slot
+					if err := runctl.Guard(stream, func() {
+						trng := rand.New(rand.NewSource(stream))
+						entry := entries[trng.Intn(len(entries))]
+						outcome, next, catSample := runTrajectory(cfg, ttf, entry, trng)
+						out = slot{outcome, next, catSample, true}
+					}); err != nil {
+						return err
+					}
+					slots[i] = out
 				}
-			}(level, lo, hi)
+				return nil
+			})
 		}
-		wg.Wait()
+		if err := pool.Wait(); err != nil {
+			return SplitResult{}, err
+		}
+		if ctx.Err() != nil {
+			// The level is incomplete; discard it so the tallies stay a
+			// pure function of (seed, level) and resume replays it.
+			res.Partial = true
+			break
+		}
 
 		var ups, cats int
 		nextEntries := make([]*snapshot, 0, n)
@@ -165,14 +271,50 @@ func Split(cfg Config, ttf failure.Exponential, sc SplitConfig) (SplitResult, er
 		pCont := float64(ups-cats) / float64(n)
 		res.LevelProbs = append(res.LevelProbs, pUp)
 		res.CatFractions = append(res.CatFractions, catFrac)
-		rate += weight * catFrac
+		res.LevelTrajectories = append(res.LevelTrajectories, n)
+		rateSum += weight * catFrac
+		varSum += weight * weight * catFrac * (1 - catFrac) / float64(n)
 		weight *= pCont
 		if len(nextEntries) < n/10 {
 			res.EntryShortfall = append(res.EntryShortfall, level+1)
 		}
 		entries = nextEntries
+
+		if sc.CheckpointPath != "" {
+			ck := splitCheckpoint{
+				NextLevel:         level + 1,
+				Weight:            weight,
+				RateSum:           rateSum,
+				VarSum:            varSum,
+				LevelProbs:        res.LevelProbs,
+				CatFractions:      res.CatFractions,
+				LevelTrajectories: res.LevelTrajectories,
+				EntryShortfall:    res.EntryShortfall,
+				Samples:           res.Samples,
+				Entries:           encodeSnapshots(entries),
+			}
+			if err := runctl.SaveCheckpoint(sc.CheckpointPath, splitCheckpointKind, fingerprint, ck); err != nil {
+				return SplitResult{}, err
+			}
+		}
+		if sc.onLevelDone != nil {
+			sc.onLevelDone(level)
+		}
 	}
-	res.CatRatePerPoolHour = beta0 * rate
+
+	res.CatRatePerPoolHour = beta0 * rateSum
+	se := beta0 * math.Sqrt(varSum)
+	// The residual weight bounds everything not simulated — the levels
+	// beyond the loop's end contribute at most weight (each deeper
+	// cascade reaches catastrophe with probability ≤ 1). For complete
+	// runs this is the (tiny) truncation bound at MaxLevel; for Partial
+	// runs it is the honest price of the missing levels.
+	tail := beta0 * weight
+	res.CatRateLo = res.CatRatePerPoolHour - 1.96*se
+	if res.CatRateLo < 0 {
+		res.CatRateLo = 0
+	}
+	res.CatRateHi = res.CatRatePerPoolHour + 1.96*se + tail
 	return res, nil
 }
 

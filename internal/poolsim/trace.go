@@ -1,6 +1,7 @@
 package poolsim
 
 import (
+	"context"
 	"fmt"
 
 	"mlec/internal/failure"
@@ -14,7 +15,15 @@ import (
 // service.
 //
 // The returned stats cover the span of the trace (or `years` if longer).
+// ReplayTrace is ReplayTraceContext without cancellation.
 func ReplayTrace(cfg Config, trace *failure.Trace, years float64, seed int64) (RunStats, error) {
+	return ReplayTraceContext(context.Background(), cfg, trace, years, seed)
+}
+
+// ReplayTraceContext is ReplayTrace under run control: on cancellation
+// or deadline the replay stops at the next event boundary and returns
+// statistics over the replayed span, marked Partial.
+func ReplayTraceContext(ctx context.Context, cfg Config, trace *failure.Trace, years float64, seed int64) (RunStats, error) {
 	pool, err := NewPool(cfg, seed)
 	if err != nil {
 		return RunStats{}, err
@@ -49,7 +58,11 @@ func ReplayTrace(cfg Config, trace *failure.Trace, years float64, seed int64) (R
 			dr.failDiskNow(ev.Disk)
 		})
 	}
-	dr.eng.RunUntil(horizon)
-	dr.stats.SimYears = horizon / failure.HoursPerYear
+	if dr.runPolled(ctx, horizon) {
+		dr.stats.SimYears = horizon / failure.HoursPerYear
+	} else {
+		dr.stats.Partial = true
+		dr.stats.SimYears = dr.eng.Now() / failure.HoursPerYear
+	}
 	return dr.stats, nil
 }

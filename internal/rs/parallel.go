@@ -1,8 +1,10 @@
 package rs
 
 import (
+	"context"
 	"runtime"
-	"sync"
+
+	"mlec/internal/runctl"
 )
 
 // EncodeParallel computes the parity shards like Encode, splitting the
@@ -28,7 +30,7 @@ func (c *Codec) EncodeParallel(shards [][]byte, workers int) error {
 		return c.Encode(shards)
 	}
 	chunk := (size + workers - 1) / workers
-	var wg sync.WaitGroup
+	pool := runctl.NewPool(context.Background())
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -38,18 +40,15 @@ func (c *Codec) EncodeParallel(shards [][]byte, workers int) error {
 		if lo >= hi {
 			break
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		pool.Go(int64(w), func(context.Context) error {
 			sub := make([][]byte, len(shards))
 			for i, s := range shards {
 				sub[i] = s[lo:hi]
 			}
 			// Each range is an independent encode; errors cannot occur
 			// here because checkShards already validated the geometry.
-			_ = c.Encode(sub)
-		}(lo, hi)
+			return c.Encode(sub)
+		})
 	}
-	wg.Wait()
-	return nil
+	return pool.Wait()
 }

@@ -1,0 +1,112 @@
+package runctl
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// CheckpointVersion is the on-disk format version. Readers reject files
+// written by a different version rather than guessing.
+const CheckpointVersion = 1
+
+// checkpointEnvelope is the versioned container around an estimator's
+// payload. Kind names the producing estimator ("poolsim.split",
+// "burst.pdl", "burst.grid"); Fingerprint hashes the configuration and
+// seed so a checkpoint is never resumed into a different campaign.
+type checkpointEnvelope struct {
+	Version     int             `json:"version"`
+	Kind        string          `json:"kind"`
+	Fingerprint string          `json:"fingerprint"`
+	Payload     json.RawMessage `json:"payload"`
+}
+
+// SaveCheckpoint atomically writes payload to path as a gzip-compressed
+// versioned envelope: the bytes land in a temp file in the same
+// directory first and are renamed into place, so an interrupted save
+// can never corrupt an existing checkpoint.
+func SaveCheckpoint(path, kind, fingerprint string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("runctl: encoding %s checkpoint: %w", kind, err)
+	}
+	env, err := json.Marshal(checkpointEnvelope{
+		Version:     CheckpointVersion,
+		Kind:        kind,
+		Fingerprint: fingerprint,
+		Payload:     raw,
+	})
+	if err != nil {
+		return fmt.Errorf("runctl: encoding %s checkpoint envelope: %w", kind, err)
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("runctl: checkpoint directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runctl: checkpoint temp file: %w", err)
+	}
+	zw := gzip.NewWriter(tmp)
+	_, werr := zw.Write(env)
+	if cerr := zw.Close(); werr == nil {
+		werr = cerr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runctl: writing checkpoint %s: %w", path, werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runctl: committing checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint into
+// payload. It returns (false, nil) when no file exists at path — a
+// fresh start — and an error when the file exists but its version,
+// kind, or fingerprint does not match: resuming a checkpoint into a
+// different configuration would silently produce garbage statistics, so
+// the mismatch is loud.
+func LoadCheckpoint(path, kind, fingerprint string, payload any) (bool, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("runctl: opening checkpoint %s: %w", path, err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return false, fmt.Errorf("runctl: checkpoint %s is not a runctl checkpoint: %w", path, err)
+	}
+	defer zr.Close()
+	var env checkpointEnvelope
+	if err := json.NewDecoder(zr).Decode(&env); err != nil {
+		return false, fmt.Errorf("runctl: decoding checkpoint %s: %w", path, err)
+	}
+	if env.Version != CheckpointVersion {
+		return false, fmt.Errorf("runctl: checkpoint %s has version %d, this binary reads version %d",
+			path, env.Version, CheckpointVersion)
+	}
+	if env.Kind != kind {
+		return false, fmt.Errorf("runctl: checkpoint %s holds %q state, expected %q", path, env.Kind, kind)
+	}
+	if env.Fingerprint != fingerprint {
+		return false, fmt.Errorf("runctl: checkpoint %s was written for a different configuration/seed (fingerprint %q, expected %q)",
+			path, env.Fingerprint, fingerprint)
+	}
+	if err := json.Unmarshal(env.Payload, payload); err != nil {
+		return false, fmt.Errorf("runctl: decoding %s checkpoint payload: %w", kind, err)
+	}
+	return true, nil
+}

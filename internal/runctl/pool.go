@@ -1,0 +1,74 @@
+package runctl
+
+import (
+	"context"
+	"sync"
+)
+
+// Pool is the managed worker pool every engine fans out through. It
+// owns a context (workers poll it to stop draining new work), contains
+// worker panics as typed errors, and keeps the first error for Wait.
+//
+// Workers must treat context cancellation as a graceful stop: finish
+// the trial in flight, skip the rest, return nil. Wait therefore
+// returns nil after a clean cancellation; the caller decides how to
+// mark the partial result.
+type Pool struct {
+	ctx context.Context
+	wg  sync.WaitGroup
+
+	mu    sync.Mutex
+	first error
+}
+
+// NewPool returns a pool whose workers observe ctx.
+func NewPool(ctx context.Context) *Pool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Pool{ctx: ctx}
+}
+
+// Context returns the pool's context, for callers that split work
+// outside Go.
+func (p *Pool) Context() context.Context { return p.ctx }
+
+// Go launches fn as a pool worker. A panic in fn is recovered into a
+// *PanicError carrying stream (use the worker's base RNG stream id; for
+// per-trial precision wrap individual trials in Guard inside fn). The
+// first non-nil error — returned or recovered — is kept for Wait.
+func (p *Pool) Go(stream int64, fn func(ctx context.Context) error) {
+	p.wg.Add(1)
+	live.Add(1)
+	go func() {
+		defer func() {
+			live.Add(-1)
+			p.wg.Done()
+		}()
+		err := Guard(stream, func() {
+			if e := fn(p.ctx); e != nil {
+				p.record(e)
+			}
+		})
+		if err != nil {
+			p.record(err)
+		}
+	}()
+}
+
+// Wait blocks until every worker returned and reports the first error
+// (a contained panic or a worker-returned error), or nil.
+func (p *Pool) Wait() error {
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.first
+}
+
+func (p *Pool) record(err error) {
+	p.mu.Lock()
+	if p.first == nil {
+		p.first = err
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,77 @@
+// Package runctl is the run-control layer shared by every Monte-Carlo
+// engine in this repository (poolsim.Split, syssim, burst, the trace
+// replayer) and by the cmd/ binaries that drive them.
+//
+// The paper's headline numbers come from long rare-event campaigns —
+// two-stage splitting over >50,000-disk systems — and a production-shape
+// harness for those campaigns needs three properties the raw estimators
+// do not provide on their own:
+//
+//  1. Cancellation and deadlines: every engine accepts a
+//     context.Context and, on cancellation, drains in-flight trials and
+//     returns a partial estimate (marked Partial, with honestly widened
+//     confidence intervals) instead of nothing.
+//
+//  2. Panic containment: worker goroutines run under Pool/Guard, which
+//     convert a panic into a typed *PanicError carrying the RNG stream
+//     id of the offending trial, so one bad trajectory surfaces as an
+//     error with a reproduction handle instead of killing the process
+//     and hours of completed trajectories with it.
+//
+//  3. Checkpoint/resume: estimator state (completed levels and their
+//     tallies, per-stream cursors, entry snapshots) persists to a
+//     versioned file at natural boundaries, and resuming from a
+//     checkpoint is deterministic — same seed, resumed or uninterrupted,
+//     identical final statistics.
+//
+// The `barego` analyzer in internal/lint enforces that library code
+// launches goroutines only through this package (or carries a reviewed
+// //lint:allow directive), so panic containment is a machine-checked
+// invariant rather than a convention.
+package runctl
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// PanicError is a worker panic converted into an error. Stream
+// identifies the RNG stream (derived seed, batch id, trajectory id …)
+// the worker was processing, which is the reproduction handle: rerunning
+// the same stream deterministically rebuilds the crash.
+type PanicError struct {
+	// Stream is the RNG stream / derived seed the worker was running.
+	Stream int64
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker stack at the panic site.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runctl: worker panic on stream %d: %v", e.Stream, e.Value)
+}
+
+// Guard runs fn and converts a panic into a *PanicError carrying the
+// stream id. It is the per-trial containment primitive; Pool applies it
+// to whole workers automatically.
+func Guard(stream int64, fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Stream: stream, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// live counts worker goroutines currently running under any Pool. Tests
+// assert it returns to zero after cancellation to prove the engines leak
+// no goroutines.
+var live atomic.Int64
+
+// Live returns the number of pool workers currently running,
+// process-wide.
+func Live() int64 { return live.Load() }

@@ -1,0 +1,58 @@
+package runctl
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// CLIContext builds the run context the cmd/ binaries share: an
+// optional wall-clock deadline (timeout ≤ 0 means none) plus interrupt
+// handling — the first SIGINT/SIGTERM cancels the context so engines
+// drain in-flight trials, checkpoint, and return partial estimates; a
+// second signal exits the process immediately with status 130.
+//
+// The returned stop function releases the signal handler and the
+// deadline; defer it in main.
+func CLIContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	cancelDeadline := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancelDeadline = context.WithTimeout(ctx, timeout)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(os.Stderr, "\n%v: draining in-flight work (interrupt again to exit immediately)\n", sig)
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case <-sigc:
+			fmt.Fprintln(os.Stderr, "second interrupt: exiting immediately")
+			os.Exit(130)
+		case <-done:
+		}
+	}()
+
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(sigc)
+			close(done)
+		})
+		cancel()
+		cancelDeadline()
+	}
+	return ctx, stop
+}

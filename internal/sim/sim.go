@@ -90,6 +90,17 @@ func (e *Engine) RunUntil(until float64) {
 // Pending returns the number of scheduled events.
 func (e *Engine) Pending() int { return e.queue.Len() }
 
+// NextTime returns the time of the earliest scheduled event, or false
+// when the queue is empty. Drivers that poll a context between events
+// (syssim, the trace replayer) use it to run the engine in bounded
+// chunks without overshooting a horizon.
+func (e *Engine) NextTime() (float64, bool) {
+	if e.queue.Len() == 0 {
+		return 0, false
+	}
+	return e.queue[0].time, true
+}
+
 // eventQueue implements heap.Interface ordered by (time, seq).
 type eventQueue []*Event
 

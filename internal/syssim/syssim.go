@@ -14,6 +14,7 @@
 package syssim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -65,6 +66,10 @@ type Stats struct {
 	// grouping could not place in distinct racks (excluded from loss
 	// accounting; ≈0 for symmetric configurations).
 	StrandedStripes int
+	// Partial marks a run stopped early by context cancellation or
+	// deadline. SimYears then holds the simulated span actually
+	// covered, so rates derived from these stats stay honest.
+	Partial bool
 }
 
 // System is the running simulator state.
@@ -254,7 +259,18 @@ func (s *System) buildNetworkStripes() error {
 }
 
 // Run simulates for the given number of years and returns statistics.
+// Run is RunContext without cancellation.
 func Run(cfg Config, years float64, seed int64) (Stats, error) {
+	return RunContext(context.Background(), cfg, years, seed)
+}
+
+// RunContext is Run under run control: the event loop polls ctx between
+// batches of events, so cancellation or a deadline stops the simulation
+// at an event boundary and returns statistics over the span actually
+// simulated, marked Partial. The event sequence up to that boundary is
+// identical to an uninterrupted run's — cancellation changes where the
+// run stops, never what it simulates.
+func RunContext(ctx context.Context, cfg Config, years float64, seed int64) (Stats, error) {
 	cfg.Seed = seed
 	s, err := New(cfg)
 	if err != nil {
@@ -264,7 +280,21 @@ func Run(cfg Config, years float64, seed int64) (Stats, error) {
 		return Stats{}, fmt.Errorf("syssim: years = %g", years)
 	}
 	s.armFailureClock()
-	s.eng.RunUntil(years * failure.HoursPerYear)
+	horizon := years * failure.HoursPerYear
+	const pollEvery = 1024
+	for i := 0; ; i++ {
+		if i%pollEvery == 0 && ctx.Err() != nil {
+			s.stats.Partial = true
+			s.stats.SimYears = s.eng.Now() / failure.HoursPerYear
+			return s.stats, nil
+		}
+		next, ok := s.eng.NextTime()
+		if !ok || next > horizon {
+			break
+		}
+		s.eng.Step()
+	}
+	s.eng.RunUntil(horizon) // advance the clock; no events fire
 	s.stats.SimYears = years
 	return s.stats, nil
 }

@@ -24,6 +24,7 @@
 package mlec
 
 import (
+	"context"
 	"io"
 
 	"mlec/internal/cluster"
@@ -190,9 +191,18 @@ func Experiments() []string { return experiments.List() }
 func DescribeExperiment(id string) string { return experiments.Describe(id) }
 
 // RunExperiment regenerates one of the paper's tables or figures,
-// rendering to w.
+// rendering to w. RunExperiment is RunExperimentContext without
+// cancellation.
 func RunExperiment(id string, opts ExperimentOptions, w io.Writer) error {
 	return experiments.Run(id, opts, w)
+}
+
+// RunExperimentContext is RunExperiment under run control: cancellation
+// or a deadline stops the Monte-Carlo engines at the next trial
+// boundary; with opts.CheckpointDir set, interrupted campaigns resume
+// deterministically on the next identical invocation.
+func RunExperimentContext(ctx context.Context, id string, opts ExperimentOptions, w io.Writer) error {
+	return experiments.RunContext(ctx, id, opts, w)
 }
 
 // ScrubReport summarizes a cluster-wide parity consistency check.

@@ -1,0 +1,98 @@
+package mlec
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// durOpts is the mlecdur -sim configuration the run-control tests share.
+func durOpts(checkpoint string) DurabilityOptions {
+	return DurabilityOptions{
+		AFR: 0.5, UseSimulation: true, Trajectories: 2000, Seed: 17,
+		CheckpointPath: checkpoint,
+	}
+}
+
+// TestEstimateDurabilityPartial: cancelling before the first splitting
+// level still returns estimates — marked Partial, with an honest upper
+// bound (the whole unexplored campaign) instead of a spuriously tight
+// interval.
+func TestEstimateDurabilityPartial(t *testing.T) {
+	cfg := smallConfig(SchemeCD)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ests, err := EstimateDurabilityContext(ctx, cfg.Topology, cfg.Params, SchemeCD, durOpts(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) == 0 {
+		t.Fatal("no estimates")
+	}
+	for _, e := range ests {
+		if !e.Partial {
+			t.Errorf("%v estimate not marked Partial", e.Method)
+		}
+		if e.AnnualPDLHi <= 0 {
+			t.Errorf("%v partial estimate has no upper bound (AnnualPDLHi=%g)", e.Method, e.AnnualPDLHi)
+		}
+		if e.AnnualPDL > e.AnnualPDLHi || e.AnnualPDLLo > e.AnnualPDL {
+			t.Errorf("%v estimate %g outside its own bounds [%g, %g]",
+				e.Method, e.AnnualPDL, e.AnnualPDLLo, e.AnnualPDLHi)
+		}
+	}
+}
+
+// TestEstimateDurabilityCheckpointResume is the mlecdur -sim resume
+// contract: interrupt the campaign by deadline, then re-run the
+// identical invocation against its checkpoint — the final estimates
+// must be byte-identical to an uninterrupted fixed-seed run. This holds
+// wherever the deadline lands: mid-campaign (resume completes the
+// remaining levels on the same RNG streams) or after completion (the
+// checkpoint replays the finished result).
+func TestEstimateDurabilityCheckpointResume(t *testing.T) {
+	cfg := smallConfig(SchemeCD)
+	path := filepath.Join(t.TempDir(), "dur.ckpt")
+
+	ref, err := EstimateDurability(cfg.Topology, cfg.Params, SchemeCD, durOpts(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := EstimateDurabilityContext(ctx, cfg.Topology, cfg.Params, SchemeCD, durOpts(path)); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := EstimateDurability(cfg.Topology, cfg.Params, SchemeCD, durOpts(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, ref) {
+		t.Errorf("resumed estimates differ from uninterrupted run:\nresumed: %+v\nref:     %+v", resumed, ref)
+	}
+}
+
+// TestSimulateContextCancel: the public full-system entry point honours
+// cancellation and reports the span actually simulated.
+func TestSimulateContextCancel(t *testing.T) {
+	cfg := smallConfig(SchemeCC)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := SimulateContext(ctx, SimulationConfig{
+		Topology: cfg.Topology, Params: cfg.Params, Scheme: SchemeCC,
+		Method: RepairMinimum, AFR: 0.3, SegmentsPerDisk: 20,
+	}, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Partial {
+		t.Error("cancelled simulation not marked Partial")
+	}
+	if stats.SimYears >= 50 {
+		t.Errorf("cancelled run claims %g simulated years", stats.SimYears)
+	}
+}

@@ -1,6 +1,8 @@
 package mlec
 
 import (
+	"context"
+
 	"mlec/internal/failure"
 	"mlec/internal/syssim"
 )
@@ -25,18 +27,31 @@ type SimulationConfig struct {
 
 // SimulationStats summarizes a full-system run.
 type SimulationStats struct {
+	// SimYears is the span actually simulated — less than requested
+	// when the run was cancelled (see Partial), so event counts divided
+	// by SimYears remain honest rates.
 	SimYears             float64
 	DiskFailures         int
 	CatastrophicEvents   int
 	DataLossEvents       int
 	CrossRackRepairBytes float64
+	// Partial marks a run stopped early by context cancellation or
+	// deadline; the statistics cover only SimYears of simulated time.
+	Partial bool
 }
 
 // Simulate runs the full-system simulator for the given number of years.
 // At the paper's 1% AFR a 57,600-disk, 25-year run completes in under a
 // second; crank AFR up (or the topology down) to make rare events
-// observable directly.
+// observable directly. Simulate is SimulateContext without cancellation.
 func Simulate(cfg SimulationConfig, years float64, seed int64) (SimulationStats, error) {
+	return SimulateContext(context.Background(), cfg, years, seed)
+}
+
+// SimulateContext is Simulate under run control: ctx cancellation or
+// deadline stops the event loop at the next event boundary and returns
+// the statistics accumulated so far with Partial set.
+func SimulateContext(ctx context.Context, cfg SimulationConfig, years float64, seed int64) (SimulationStats, error) {
 	if cfg.AFR <= 0 || cfg.AFR >= 1 {
 		cfg.AFR = 0.01
 	}
@@ -44,7 +59,7 @@ func Simulate(cfg SimulationConfig, years float64, seed int64) (SimulationStats,
 	if err != nil {
 		return SimulationStats{}, err
 	}
-	stats, err := syssim.Run(syssim.Config{
+	stats, err := syssim.RunContext(ctx, syssim.Config{
 		Topo:                cfg.Topology,
 		Params:              cfg.Params,
 		Scheme:              cfg.Scheme,
@@ -62,5 +77,6 @@ func Simulate(cfg SimulationConfig, years float64, seed int64) (SimulationStats,
 		CatastrophicEvents:   stats.CatastrophicEvents,
 		DataLossEvents:       stats.DataLossEvents,
 		CrossRackRepairBytes: stats.CrossRackRepairBytes,
+		Partial:              stats.Partial,
 	}, nil
 }
