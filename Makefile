@@ -5,7 +5,7 @@ GO ?= go
 # Packages with worker pools / goroutine fan-out: the race-detector set.
 RACE_PKGS = ./internal/burst ./internal/poolsim ./internal/rs ./internal/syssim ./internal/cluster ./internal/runctl
 
-.PHONY: check build vet lint test race stress bench
+.PHONY: check build vet lint test race stress bench fuzz
 
 ## check: build + vet + mlecvet + tests + race tests — the CI gate.
 check: build vet lint test race stress
@@ -36,3 +36,10 @@ stress:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+## fuzz: short fuzzing smoke of the hand-written parsers (failure-trace
+## files, //lint:allow directives). `go test -fuzz` accepts a single
+## target per invocation, hence one line each.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseTrace -fuzztime=10s ./internal/failure
+	$(GO) test -run='^$$' -fuzz=FuzzParseAllowDirective -fuzztime=10s ./internal/lint

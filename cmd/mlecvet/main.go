@@ -5,11 +5,21 @@
 //
 // Usage:
 //
-//	mlecvet [-analyzers name,name] [-list] [-timeout D] [patterns...]
+//	mlecvet [-analyzers name,name] [-json] [-list] [-timeout D] [patterns...]
 //
 // Patterns default to ./... and support ./dir and ./dir/... forms
 // rooted at the module. The exit status is 0 when the tree is clean, 1
 // when any analyzer reports a finding, 2 on usage or load errors.
+//
+// With -json, findings are emitted to stdout as a single JSON document
+// (schema below) instead of line-oriented text, so CI can archive and
+// post-process them. The exit-status contract is unchanged.
+//
+//	{
+//	  "findings": [{"file": ..., "line": ..., "column": ...,
+//	                "analyzer": ..., "message": ...}, ...],
+//	  "malformed_directives": [{"file": ..., "line": ..., "column": ...}]
+//	}
 //
 // Findings are suppressed site-by-site with a directive on the flagged
 // line or the line above:
@@ -21,16 +31,44 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 
 	"mlec/internal/lint"
 	"mlec/internal/runctl"
 )
 
+// jsonPos is a token.Position without the Offset field, keyed the way CI
+// consumers expect.
+type jsonPos struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+}
+
+func toJSONPos(p token.Position) jsonPos {
+	return jsonPos{File: p.Filename, Line: p.Line, Column: p.Column}
+}
+
+type jsonFinding struct {
+	jsonPos
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json document. Slices are always non-nil so a
+// clean run serializes as empty arrays, not null.
+type jsonReport struct {
+	Findings            []jsonFinding `json:"findings"`
+	MalformedDirectives []jsonPos     `json:"malformed_directives"`
+}
+
 func main() {
 	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON document on stdout")
 	list := flag.Bool("list", false, "list available analyzers and exit")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for loading and analysis (0 = none)")
 	flag.Parse()
@@ -87,18 +125,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mlecvet:", ctx.Err())
 		os.Exit(2)
 	}
-	bad := false
+	report := jsonReport{
+		Findings:            []jsonFinding{},
+		MalformedDirectives: []jsonPos{},
+	}
 	for _, pkg := range pkgs {
 		for _, pos := range pkg.Malformed {
-			fmt.Printf("%s: directive: //lint:allow needs an analyzer name and a reason\n", pos)
-			bad = true
+			report.MalformedDirectives = append(report.MalformedDirectives, toJSONPos(pos))
 		}
 	}
 	for _, d := range diags {
-		fmt.Println(d)
-		bad = true
+		report.Findings = append(report.Findings, jsonFinding{
+			jsonPos:  toJSONPos(d.Pos),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
 	}
-	if bad {
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "mlecvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, pkg := range pkgs {
+			for _, pos := range pkg.Malformed {
+				fmt.Printf("%s: directive: //lint:allow needs an analyzer name and a reason\n", pos)
+			}
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(report.Findings) > 0 || len(report.MalformedDirectives) > 0 {
 		os.Exit(1)
 	}
 }

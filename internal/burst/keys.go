@@ -1,0 +1,16 @@
+package burst
+
+import "sort"
+
+// sortedKeys returns m's keys in ascending order. The burst evaluators
+// fold float expectations over map-keyed tallies; iterating the sorted
+// keys instead of the map makes the accumulation order — and the last
+// ULP of every PDL estimate — identical run to run.
+func sortedKeys[V any](m map[int]V) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

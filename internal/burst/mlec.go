@@ -59,6 +59,7 @@ func (e *MLECEvaluator) ConditionalPDL(b *BurstLayout) float64 {
 			phis[pool] = phi
 		}
 	}
+	pools := sortedKeys(phis)
 	if len(phis) <= l.Params.PN {
 		return 0 // fewer than pn+1 catastrophic pools: no loss possible
 	}
@@ -69,13 +70,17 @@ func (e *MLECEvaluator) ConditionalPDL(b *BurstLayout) float64 {
 		// stripe in that pool holds one (independently declustered)
 		// local stripe from each member, so its loss probability is
 		// the Poisson-binomial tail over member φ's at pn+1.
+		// Iterating pools in sorted order keeps each network pool's φ
+		// slice — and with it the Poisson-binomial recurrence — in a
+		// deterministic order.
 		byNet := make(map[int][]float64)
-		for pool, phi := range phis {
+		for _, pool := range pools {
 			np := l.NetworkPoolOf(pool)
-			byNet[np] = append(byNet[np], phi)
+			byNet[np] = append(byNet[np], phis[pool])
 		}
 		stripesPerNetPool := l.LocalStripesPerPool()
-		for _, ps := range byNet {
+		for _, np := range sortedKeys(byNet) {
+			ps := byNet[np]
 			if len(ps) <= l.Params.PN {
 				continue
 			}
@@ -89,12 +94,12 @@ func (e *MLECEvaluator) ConditionalPDL(b *BurstLayout) float64 {
 		// per rack.
 		psiByRack := make(map[int]float64)
 		ppr := float64(l.LocalPoolsPerRack())
-		for pool, phi := range phis {
-			psiByRack[l.RackOfPool(pool)] += phi / ppr
+		for _, pool := range pools {
+			psiByRack[l.RackOfPool(pool)] += phis[pool] / ppr
 		}
 		psis := make([]float64, 0, len(psiByRack))
-		for _, psi := range psiByRack {
-			psis = append(psis, psi)
+		for _, rack := range sortedKeys(psiByRack) {
+			psis = append(psis, psiByRack[rack])
 		}
 		pLoss := sampledRackLossTail(psis, l.Topo.Racks, l.Params.NetworkWidth(), l.Params.PN+1)
 		expectedLost = l.TotalNetworkStripes() * pLoss

@@ -68,8 +68,8 @@ func (e *SLECEvaluator) localDp(b *BurstLayout) float64 {
 	}
 	stripesPerPool := l.StripesPerPool()
 	var expected float64
-	for _, f := range fails {
-		if f > l.Params.P {
+	for _, pool := range sortedKeys(fails) {
+		if f := fails[pool]; f > l.Params.P {
 			q := mathx.HypergeomTail(l.Params.P+1, f, d, l.Params.Width())
 			expected += stripesPerPool * q
 		}
@@ -91,7 +91,8 @@ func (e *SLECEvaluator) networkCp(b *BurstLayout) float64 {
 	}
 	stripesPerGroup := l.StripesPerPool() // one pool per group
 	var expected float64
-	for _, probs := range probsByGroup {
+	for _, g := range sortedKeys(probsByGroup) {
+		probs := probsByGroup[g]
 		if len(probs) <= l.Params.P {
 			continue // too few affected racks in this group
 		}

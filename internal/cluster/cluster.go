@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"mlec/internal/placement"
 	"mlec/internal/repair"
@@ -409,7 +410,13 @@ func (c *Cluster) recoverLocalPayload(name string, ns, li int, lm localStripeMet
 // VerifyAll re-reads every object and checks it against nothing being
 // lost; it returns the first error encountered.
 func (c *Cluster) VerifyAll(expected map[string][]byte) error {
-	for name, want := range expected {
+	names := make([]string, 0, len(expected))
+	for name := range expected {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := expected[name]
 		got, err := c.Read(name)
 		if err != nil {
 			return fmt.Errorf("cluster: object %q: %w", name, err)
@@ -442,12 +449,13 @@ func (c *Cluster) Delete(name string) error {
 	return nil
 }
 
-// Objects returns the stored object names in unspecified order.
+// Objects returns the stored object names in ascending order.
 func (c *Cluster) Objects() []string {
 	out := make([]string, 0, len(c.objects))
 	for name := range c.objects {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -1,0 +1,31 @@
+package cluster
+
+import "sort"
+
+// sortedObjects returns the stored objects ordered by name — the
+// deterministic iteration order for scans, scrubs and repairs, so
+// damage lists, error identities and traffic-meter accumulation order
+// never depend on map iteration.
+func (c *Cluster) sortedObjects() []*object {
+	names := make([]string, 0, len(c.objects))
+	for name := range c.objects {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	objs := make([]*object, len(names))
+	for i, name := range names {
+		objs[i] = c.objects[name]
+	}
+	return objs
+}
+
+// sortedKeys returns m's int keys in ascending order (pool ids, disk
+// ids), the deterministic iteration order for repair dispatch.
+func sortedKeys[V any](m map[int]V) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

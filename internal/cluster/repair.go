@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"mlec/internal/repair"
 )
@@ -23,7 +24,7 @@ type damage struct {
 // scanDamage walks all stripes and groups damaged local stripes by pool.
 func (c *Cluster) scanDamage() map[int][]damage {
 	out := make(map[int][]damage)
-	for _, obj := range c.objects {
+	for _, obj := range c.sortedObjects() {
 		for ns := range obj.stripes {
 			meta := &obj.stripes[ns]
 			for li := range meta.locals {
@@ -62,6 +63,7 @@ func (c *Cluster) CatastrophicPools() []int {
 			}
 		}
 	}
+	sort.Ints(pools)
 	return pools
 }
 
@@ -88,17 +90,20 @@ func (c *Cluster) Repair(method repair.Method) error {
 			c.ReplaceDisk(i)
 		}
 	}
-	for pool := range catastrophic {
+	// Repair pools in ascending id order: the traffic meters accumulate
+	// floats per repaired chunk, so repair order must be deterministic
+	// for byte-identical meters run to run.
+	for _, pool := range sortedKeys(catastrophic) {
 		if err := c.repairCatastrophicPool(pool, byPool[pool], method); err != nil {
 			return err
 		}
 	}
 	// Locally-recoverable pools: plain local repair.
-	for pool, ds := range byPool {
+	for _, pool := range sortedKeys(byPool) {
 		if catastrophic[pool] {
 			continue
 		}
-		for _, d := range ds {
+		for _, d := range byPool[pool] {
 			if err := c.repairLocalStripe(d); err != nil {
 				return err
 			}
@@ -128,8 +133,9 @@ func (c *Cluster) repairCatastrophicPool(pool int, ds []damage, method repair.Me
 func (c *Cluster) repairAll(pool int, ds []damage) error {
 	_ = ds // R_ALL ignores damage detail by design: it cannot see it.
 	// The pool hosts local stripes from potentially every object;
-	// enumerate them all.
-	for _, obj := range c.objects {
+	// enumerate them all, in name order so the traffic meters accumulate
+	// deterministically.
+	for _, obj := range c.sortedObjects() {
 		for ns := range obj.stripes {
 			meta := &obj.stripes[ns]
 			for li := range meta.locals {

@@ -26,7 +26,7 @@ func (r ScrubReport) Clean() bool {
 func (c *Cluster) Scrub() (ScrubReport, error) {
 	var rep ScrubReport
 	p := c.cfg.Params
-	for _, obj := range c.objects {
+	for _, obj := range c.sortedObjects() {
 		for ns := range obj.stripes {
 			meta := &obj.stripes[ns]
 			netShards := make([][]byte, p.NetworkWidth())

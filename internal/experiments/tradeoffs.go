@@ -196,14 +196,18 @@ func Fig12(opts Options) (*Fig12Result, error) {
 	return res, nil
 }
 
-// Render prints both panels.
+// Render prints both panels, 12a before 12b.
 func (r *Fig12Result) Render(w io.Writer) error {
-	for name, pts := range map[string][]TradeoffPoint{
-		"Figure 12a: C/C MLEC vs clustered SLEC":   r.PanelA,
-		"Figure 12b: C/D MLEC vs declustered SLEC": r.PanelB,
-	} {
-		fmt.Fprintln(w, name)
-		if err := renderPoints(w, pts); err != nil {
+	panels := []struct {
+		name string
+		pts  []TradeoffPoint
+	}{
+		{"Figure 12a: C/C MLEC vs clustered SLEC", r.PanelA},
+		{"Figure 12b: C/D MLEC vs declustered SLEC", r.PanelB},
+	}
+	for _, p := range panels {
+		fmt.Fprintln(w, p.name)
+		if err := renderPoints(w, p.pts); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

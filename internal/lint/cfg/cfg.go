@@ -1,0 +1,353 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies, in the spirit of golang.org/x/tools/go/cfg but built
+// only on the standard library so the repository stays dependency-free.
+//
+// The graph is deliberately simple: a Graph is a list of basic Blocks,
+// each holding the ast.Nodes that execute in order when control reaches
+// the block, plus successor edges. Conditions (if/for/switch tags) are
+// recorded as nodes of the block that evaluates them, and a RangeStmt
+// appears as a node of its own loop-header block, so a dataflow pass
+// walking block nodes in order sees every expression exactly where it
+// is evaluated.
+//
+// The builder covers the statements that appear in straight Go code:
+// if/else, for (including range), switch and type switch (including
+// fallthrough), select, labeled break/continue, return, and goto (an
+// edge to the function exit — a sound over-approximation for the
+// forward taint pass, which only needs "everything after this point may
+// not execute in this block"). Function literals are NOT descended
+// into: a closure body is its own flow graph and is built separately by
+// the caller.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// A Block is a maximal straight-line sequence of AST nodes. Control
+// enters at the first node and leaves to one of Succs after the last.
+type Block struct {
+	// Index is the position in Graph.Blocks (stable across builds of
+	// the same body; useful as a worklist key).
+	Index int
+	// Kind describes why the block exists ("entry", "if.then",
+	// "for.body", "range.loop", …) for debugging output.
+	Kind string
+	// Nodes holds statements and evaluated expressions in execution
+	// order. Entries are *ast.ExprStmt, *ast.AssignStmt, …, or bare
+	// ast.Expr for conditions and switch tags, or *ast.RangeStmt for a
+	// range-loop header.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters first.
+	Entry *Block
+	// Blocks lists every block, Entry first. Unreachable blocks are
+	// kept (they still hold nodes a dataflow pass may want to see).
+	Blocks []*Block
+}
+
+// Build constructs the CFG of a function body. A nil body (declaration
+// without definition) yields a graph with a single empty entry block.
+func Build(body *ast.BlockStmt) *Graph {
+	b := &builder{}
+	entry := b.newBlock("entry")
+	exit := b.newBlock("exit")
+	b.exit = exit
+	cur := entry
+	if body != nil {
+		cur = b.stmtList(cur, body.List)
+	}
+	b.edge(cur, exit)
+	return &Graph{Entry: entry, Blocks: b.blocks}
+}
+
+// String renders the graph compactly for tests and debugging:
+// "0(entry)->1,2 …".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "%d(%s,%d)->", blk.Index, blk.Kind, len(blk.Nodes))
+		for i, s := range blk.Succs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", s.Index)
+		}
+		sb.WriteByte(' ')
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+type builder struct {
+	blocks []*Block
+	exit   *Block
+	// branch targets for break/continue, innermost last.
+	targets []target
+}
+
+type target struct {
+	label     string // "" for unlabeled loops/switches
+	brk, cont *Block // cont is nil for switch/select
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.blocks), Kind: kind}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// edge links from → to unless from is nil (unreachable flow).
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block; a nil current block (code
+// after return/break) gets a fresh unreachable block so nodes are never
+// dropped from the graph.
+func (b *builder) add(cur *Block, n ast.Node) *Block {
+	if cur == nil {
+		cur = b.newBlock("unreachable")
+	}
+	cur.Nodes = append(cur.Nodes, n)
+	return cur
+}
+
+// stmtList threads the statements through the graph, returning the
+// block that falls through the end (nil if control cannot).
+func (b *builder) stmtList(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		cur = b.stmt(cur, s, "")
+	}
+	return cur
+}
+
+// stmt extends the graph with one statement. label is the non-empty
+// label name when the statement is the body of a LabeledStmt.
+func (b *builder) stmt(cur *Block, s ast.Stmt, label string) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.LabeledStmt:
+		// The label belongs to the inner statement (loop/switch); plain
+		// labeled statements (goto targets) just pass through.
+		return b.stmt(cur, s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.add(cur, s.Init)
+		}
+		cur = b.add(cur, s.Cond)
+		then := b.newBlock("if.then")
+		b.edge(cur, then)
+		thenEnd := b.stmtList(then, s.Body.List)
+		done := b.newBlock("if.done")
+		b.edge(thenEnd, done)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(cur, els)
+			elseEnd := b.stmt(els, s.Else, "")
+			b.edge(elseEnd, done)
+		} else {
+			b.edge(cur, done)
+		}
+		return done
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.add(cur, s.Init)
+		}
+		head := b.newBlock("for.head")
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, done) // condition false
+		}
+		post := b.newBlock("for.post")
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		b.push(label, done, post)
+		bodyEnd := b.stmtList(body, s.Body.List)
+		b.pop()
+		b.edge(bodyEnd, post)
+		b.edge(post, head)
+		return done
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		b.edge(cur, head)
+		// The RangeStmt node itself marks the per-iteration key/value
+		// assignment; a dataflow pass treats it as the loop's source.
+		head.Nodes = append(head.Nodes, s)
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.edge(head, body)
+		b.edge(head, done)
+		b.push(label, done, head)
+		bodyEnd := b.stmtList(body, s.Body.List)
+		b.pop()
+		b.edge(bodyEnd, head)
+		return done
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = b.add(cur, s.Init)
+		}
+		if s.Tag != nil {
+			cur = b.add(cur, s.Tag)
+		}
+		return b.switchBody(cur, label, s.Body, func(c ast.Stmt) []ast.Node {
+			cc := c.(*ast.CaseClause)
+			nodes := make([]ast.Node, 0, len(cc.List))
+			for _, e := range cc.List {
+				nodes = append(nodes, e)
+			}
+			return nodes
+		}, func(c ast.Stmt) []ast.Stmt { return c.(*ast.CaseClause).Body },
+			func(c ast.Stmt) bool { return c.(*ast.CaseClause).List == nil })
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur = b.add(cur, s.Init)
+		}
+		cur = b.add(cur, s.Assign)
+		return b.switchBody(cur, label, s.Body, func(c ast.Stmt) []ast.Node {
+			return nil // type lists carry no evaluated expressions
+		}, func(c ast.Stmt) []ast.Stmt { return c.(*ast.CaseClause).Body },
+			func(c ast.Stmt) bool { return c.(*ast.CaseClause).List == nil })
+
+	case *ast.SelectStmt:
+		return b.switchBody(cur, label, s.Body, func(c ast.Stmt) []ast.Node {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				return []ast.Node{cc.Comm}
+			}
+			return nil
+		}, func(c ast.Stmt) []ast.Stmt { return c.(*ast.CommClause).Body },
+			func(c ast.Stmt) bool { return c.(*ast.CommClause).Comm == nil })
+
+	case *ast.BranchStmt:
+		return b.branch(cur, s)
+
+	case *ast.ReturnStmt:
+		cur = b.add(cur, s)
+		b.edge(cur, b.exit)
+		return nil
+
+	default:
+		// Assignments, declarations, expression statements, go/defer,
+		// sends, inc/dec, empty statements: straight-line nodes.
+		return b.add(cur, s)
+	}
+}
+
+// switchBody builds the shared shape of switch / type switch / select:
+// every clause is a branch out of cur; a missing default adds a
+// fall-past edge. caseNodes extracts the evaluated expressions of a
+// clause, caseStmts its body, isDefault whether it is the default.
+func (b *builder) switchBody(cur *Block, label string, body *ast.BlockStmt,
+	caseNodes func(ast.Stmt) []ast.Node, caseStmts func(ast.Stmt) []ast.Stmt,
+	isDefault func(ast.Stmt) bool) *Block {
+	done := b.newBlock("switch.done")
+	b.push(label, done, nil)
+	hasDefault := false
+	var caseBlocks []*Block
+	for _, c := range body.List {
+		blk := b.newBlock("switch.case")
+		b.edge(cur, blk)
+		blk.Nodes = append(blk.Nodes, caseNodes(c)...)
+		if isDefault(c) {
+			hasDefault = true
+		}
+		caseBlocks = append(caseBlocks, blk)
+	}
+	for i, c := range body.List {
+		end := b.stmtListFallthrough(caseBlocks[i], caseStmts(c), caseBlocks, i)
+		b.edge(end, done)
+	}
+	if !hasDefault {
+		b.edge(cur, done)
+	}
+	b.pop()
+	return done
+}
+
+// stmtListFallthrough is stmtList plus `fallthrough` handling: a
+// trailing fallthrough redirects the fallthrough edge to the next
+// case's body block.
+func (b *builder) stmtListFallthrough(cur *Block, list []ast.Stmt, cases []*Block, i int) *Block {
+	for _, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+			if i+1 < len(cases) {
+				b.edge(cur, cases[i+1])
+			}
+			return nil
+		}
+		cur = b.stmt(cur, s, "")
+	}
+	return cur
+}
+
+// branch resolves break/continue/goto. Goto is over-approximated with
+// an edge to the exit block: the forward pass only relies on "control
+// leaves here", and no code in this repository uses goto loops.
+func (b *builder) branch(cur *Block, s *ast.BranchStmt) *Block {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := b.find(name, false); t != nil {
+			b.edge(cur, t.brk)
+		}
+	case "continue":
+		if t := b.find(name, true); t != nil {
+			b.edge(cur, t.cont)
+		}
+	case "goto":
+		b.edge(cur, b.exit)
+	case "fallthrough":
+		// Handled by stmtListFallthrough; a stray one ends the block.
+	}
+	return nil
+}
+
+// find returns the innermost target matching the label; continue
+// targets must have a loop (cont != nil).
+func (b *builder) find(label string, needCont bool) *target {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if needCont && t.cont == nil {
+			continue
+		}
+		if label == "" || t.label == label {
+			return t
+		}
+	}
+	return nil
+}
+
+func (b *builder) push(label string, brk, cont *Block) {
+	b.targets = append(b.targets, target{label: label, brk: brk, cont: cont})
+}
+
+func (b *builder) pop() {
+	b.targets = b.targets[:len(b.targets)-1]
+}

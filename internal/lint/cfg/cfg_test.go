@@ -1,0 +1,267 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parse builds the CFG of the first function in src.
+func parse(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return Build(fd.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// reachable returns the blocks reachable from the entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// nodeCount sums the nodes across reachable blocks.
+func nodeCount(g *Graph) int {
+	n := 0
+	for b := range reachable(g) {
+		n += len(b.Nodes)
+	}
+	return n
+}
+
+func TestStraightLine(t *testing.T) {
+	g := parse(t, `func f() { x := 1; x++; _ = x }`)
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry has %d nodes, want 3: %s", len(g.Entry.Nodes), g)
+	}
+	if len(g.Entry.Succs) != 1 {
+		t.Fatalf("entry has %d succs, want 1 (exit): %s", len(g.Entry.Succs), g)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := parse(t, `func f(c bool) int {
+		if c {
+			return 1
+		} else {
+			return 2
+		}
+	}`)
+	// Entry evaluates the condition and branches two ways.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("if-entry has %d succs, want 2: %s", len(g.Entry.Succs), g)
+	}
+	// Both returns must appear in reachable blocks.
+	returns := 0
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns++
+			}
+		}
+	}
+	if returns != 2 {
+		t.Fatalf("found %d returns, want 2: %s", returns, g)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := parse(t, `func f() {
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}`)
+	// Some block must have a back edge: a successor with a smaller
+	// index that is a loop head.
+	hasBack := false
+	for b := range reachable(g) {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s.Kind == "for.head" {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatalf("no back edge to for.head: %s", g)
+	}
+}
+
+func TestRangeHeaderHoldsRangeStmt(t *testing.T) {
+	g := parse(t, `func f(m map[int]int) {
+		for k, v := range m {
+			_, _ = k, v
+		}
+	}`)
+	found := false
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				found = true
+				if b.Kind != "range.head" {
+					t.Fatalf("RangeStmt in %q block, want range.head", b.Kind)
+				}
+				// The header must both enter the body and exit.
+				if len(b.Succs) != 2 {
+					t.Fatalf("range.head has %d succs, want 2: %s", len(b.Succs), g)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no RangeStmt node in graph: %s", g)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	g := parse(t, `func f(xs []int) int {
+		total := 0
+		for _, x := range xs {
+			if x < 0 {
+				continue
+			}
+			if x > 100 {
+				break
+			}
+			total += x
+		}
+		return total
+	}`)
+	// The accumulation and the return must both be reachable.
+	if nodeCount(g) < 6 {
+		t.Fatalf("only %d reachable nodes: %s", nodeCount(g), g)
+	}
+	returns := 0
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns++
+			}
+		}
+	}
+	if returns != 1 {
+		t.Fatalf("return unreachable after break/continue loop: %s", g)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := parse(t, `func f() int {
+	outer:
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if i*j > 2 {
+					break outer
+				}
+			}
+		}
+		return 7
+	}`)
+	returns := 0
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns++
+			}
+		}
+	}
+	if returns != 1 {
+		t.Fatalf("return not reachable through labeled break: %s", g)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := parse(t, `func f(x int) int {
+		y := 0
+		switch x {
+		case 1:
+			y = 1
+			fallthrough
+		case 2:
+			y += 2
+		default:
+			y = 9
+		}
+		return y
+	}`)
+	// All three case bodies and the return are reachable.
+	if nodeCount(g) < 7 {
+		t.Fatalf("only %d reachable nodes: %s", nodeCount(g), g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := parse(t, `func f(a, b chan int) int {
+		select {
+		case v := <-a:
+			return v
+		case <-b:
+			return 0
+		}
+	}`)
+	returns := 0
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns++
+			}
+		}
+	}
+	if returns != 2 {
+		t.Fatalf("found %d reachable returns in select, want 2: %s", returns, g)
+	}
+}
+
+func TestInfiniteLoopNoFalseExit(t *testing.T) {
+	g := parse(t, `func f() {
+		for {
+			_ = 1
+		}
+	}`)
+	// With no condition the head must not edge to for.done; the done
+	// block stays unreachable (nothing follows the loop).
+	for b := range reachable(g) {
+		if b.Kind == "for.head" && len(b.Succs) != 1 {
+			t.Fatalf("infinite loop head has %d succs, want 1: %s", len(b.Succs), g)
+		}
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := Build(nil)
+	if g.Entry == nil || len(g.Blocks) == 0 {
+		t.Fatal("nil body must still yield an entry block")
+	}
+}
+
+func TestGotoEdgesToExit(t *testing.T) {
+	g := parse(t, `func f() {
+		x := 1
+		goto done
+	done:
+		_ = x
+	}`)
+	// Must not panic and the goto block must have a successor.
+	if nodeCount(g) < 1 {
+		t.Fatalf("goto graph lost nodes: %s", g)
+	}
+}

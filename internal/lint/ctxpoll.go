@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPoll generalizes the hand-placed cancellation checks of the
+// Monte-Carlo engines into a machine-checked invariant: a function that
+// accepts a context.Context and contains a work loop — a loop that
+// draws random numbers or steps a simulation engine — must actually
+// consult the context somewhere: call ctx.Err, ctx.Done, ctx.Deadline
+// or ctx.Value, or hand ctx to a callee that does. A context parameter
+// that is accepted and then ignored around an unbounded trial loop
+// means Stop/timeout silently cannot interrupt the run.
+//
+// Loops without randomness or engine stepping (setup, result folding)
+// are not work loops and need no poll; function literals that declare
+// their own context parameter are analyzed as functions in their own
+// right.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "require trial/event loops in context-accepting functions to poll the context",
+	Run:  runCtxPoll,
+}
+
+func runCtxPoll(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxPoll(pass, ctxParamObj(pass, fd.Type.Params), fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkCtxPoll analyzes one function body. ctxObj is the body's own
+// context parameter (nil when the function takes none). Nested function
+// literals are split off: a literal with its own context parameter is
+// checked independently, and any other literal's body is excluded from
+// the enclosing function's scan because it runs on the schedule of
+// whoever invokes it.
+func checkCtxPoll(pass *Pass, ctxObj types.Object, body *ast.BlockStmt) {
+	var lits []*ast.FuncLit
+	strip := func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+			return false
+		}
+		return true
+	}
+
+	if ctxObj != nil {
+		consults := false
+		var loops []ast.Node
+		ast.Inspect(body, func(n ast.Node) bool {
+			if !strip(n) {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if callConsultsCtx(pass, ctxObj, n) {
+					consults = true
+				}
+			case *ast.ForStmt, *ast.RangeStmt:
+				if isWorkLoop(pass, n) {
+					loops = append(loops, n)
+				}
+			}
+			return true
+		})
+		if !consults {
+			for _, loop := range loops {
+				pass.Report(loop.Pos(),
+					"loop does simulation work but the function never consults its context; poll ctx.Err() or pass ctx to a callee")
+			}
+		}
+	} else {
+		ast.Inspect(body, func(n ast.Node) bool { return strip(n) })
+	}
+
+	for _, lit := range lits {
+		checkCtxPoll(pass, ctxParamObj(pass, lit.Type.Params), lit.Body)
+	}
+}
+
+// ctxParamObj returns the object of the first context.Context parameter
+// in the field list, or nil.
+func ctxParamObj(pass *Pass, params *ast.FieldList) types.Object {
+	if params == nil {
+		return nil
+	}
+	for _, field := range params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// callConsultsCtx reports whether the call consults ctxObj: a method
+// call on it (ctx.Err, ctx.Done, ...) or ctxObj passed as an argument,
+// delegating the polling obligation to the callee.
+func callConsultsCtx(pass *Pass, ctxObj types.Object, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.Info.ObjectOf(id) == ctxObj {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Info.ObjectOf(id) == ctxObj {
+			return true
+		}
+	}
+	return false
+}
+
+// isWorkLoop reports whether the loop body draws random numbers or
+// steps a simulation engine — the operations whose repetition makes a
+// loop worth interrupting.
+func isWorkLoop(pass *Pass, loop ast.Node) bool {
+	var scan []ast.Node
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		// `for eng.Step() {}` does its work in the condition.
+		if l.Cond != nil {
+			scan = append(scan, l.Cond)
+		}
+		if l.Post != nil {
+			scan = append(scan, l.Post)
+		}
+		scan = append(scan, l.Body)
+	case *ast.RangeStmt:
+		scan = append(scan, l.Body)
+	}
+	work := false
+	for _, root := range scan {
+		inspectWork(pass, root, &work)
+	}
+	return work
+}
+
+func inspectWork(pass *Pass, root ast.Node, work *bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if *work {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+			recv := pass.Info.TypeOf(sel.X)
+			if isRandPtr(recv) {
+				*work = true
+				return false
+			}
+			if isSimEngine(recv) && (sel.Sel.Name == "Step" || sel.Sel.Name == "RunUntil") {
+				*work = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if isRandPtr(pass.Info.TypeOf(arg)) {
+				*work = true
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isRandPtr reports whether t is *math/rand.Rand.
+func isRandPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rand" && obj.Pkg() != nil && obj.Pkg().Path() == "math/rand"
+}
+
+// isSimEngine reports whether t is mlec/internal/sim.Engine or a
+// pointer to it.
+func isSimEngine(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Engine" && obj.Pkg() != nil && obj.Pkg().Path() == "mlec/internal/sim"
+}

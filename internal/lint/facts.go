@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Facts is the cross-package fact store, modeled on go/analysis facts:
+// for every function of the module it can produce a taint summary —
+// which taint kinds the function's results carry on their own (e.g. a
+// function that builds a slice from map-range keys) and which
+// parameters flow into which results. Analyzers consult the store
+// through the taint engine, so a package importing another package's
+// "returns map-ordered data" function inherits the taint at the call
+// site even when only one package is under analysis.
+//
+// Summaries are computed lazily and memoized. Recursive and mutually
+// recursive calls are cut off optimistically (the in-progress function
+// reports no flow); a fixed point over recursion is not worth the
+// complexity for a linter whose fixtures and sweep define the required
+// precision.
+type Facts struct {
+	decls      map[*types.Func]*declSite
+	summaries  map[*types.Func]*funcSummary
+	inProgress map[*types.Func]bool
+}
+
+// declSite pairs a function declaration with the package whose
+// types.Info type-checked it.
+type declSite struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// funcSummary is one function's taint behaviour.
+type funcSummary struct {
+	// results[i] describes result i: kinds the function introduces
+	// itself, params the mask of parameters whose taint flows there.
+	results []taintVal
+	// recvFlows reports that the receiver's taint flows into at least
+	// one result.
+	recvFlows bool
+}
+
+// receiver flow is tracked with the top param bit, far above any real
+// Go parameter list this module will see.
+const recvBit = 1 << 31
+
+// NewFacts indexes every function declaration reachable through the
+// packages' loader (analyzed packages plus their intra-module
+// dependencies), so call sites resolve summaries across package
+// boundaries.
+func NewFacts(pkgs []*Package) *Facts {
+	f := &Facts{
+		decls:      make(map[*types.Func]*declSite),
+		summaries:  make(map[*types.Func]*funcSummary),
+		inProgress: make(map[*types.Func]bool),
+	}
+	seen := make(map[*Package]bool)
+	var index func(p *Package)
+	index = func(p *Package) {
+		if p == nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		for _, file := range p.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					f.decls[fn] = &declSite{decl: fd, pkg: p}
+				}
+			}
+		}
+	}
+	for _, p := range pkgs {
+		index(p)
+		if p.loader != nil {
+			for _, dep := range p.loader.pkgs {
+				index(dep)
+			}
+		}
+	}
+	return f
+}
+
+// summaryOf returns the function's taint summary, or nil when the
+// function's source is outside the module (std lib, no AST).
+func (f *Facts) summaryOf(fn *types.Func) *funcSummary {
+	if sum, ok := f.summaries[fn]; ok {
+		return sum
+	}
+	site, ok := f.decls[fn]
+	if !ok || site.decl.Body == nil {
+		return nil
+	}
+	if f.inProgress[fn] {
+		return nil // recursion cut-off
+	}
+	f.inProgress[fn] = true
+	defer delete(f.inProgress, fn)
+
+	fd := site.decl
+	info := site.pkg.Info
+
+	params := make(map[types.Object]taintVal)
+	bit := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if bit < 31 {
+				params[info.Defs[name]] = taintVal{params: 1 << bit}
+			}
+			bit++
+		}
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		params[info.Defs[fd.Recv.List[0].Names[0]]] = taintVal{params: recvBit}
+	}
+
+	resultObjs, nresults := resultObjects(info, fd)
+	ft := analyzeBody(info, f, fd.Body, params, resultObjs, nresults)
+
+	sum := &funcSummary{results: make([]taintVal, nresults)}
+	for i, r := range ft.results {
+		if r.params&recvBit != 0 {
+			sum.recvFlows = true
+			r.params &^= recvBit
+		}
+		sum.results[i] = r
+	}
+	f.summaries[fn] = sum
+	return sum
+}
+
+// resultObjects returns the named result objects (nil entries for
+// unnamed results) and the result count.
+func resultObjects(info *types.Info, fd *ast.FuncDecl) ([]types.Object, int) {
+	if fd.Type.Results == nil {
+		return nil, 0
+	}
+	var objs []types.Object
+	n := 0
+	for _, field := range fd.Type.Results.List {
+		if len(field.Names) == 0 {
+			objs = append(objs, nil)
+			n++
+			continue
+		}
+		for _, name := range field.Names {
+			objs = append(objs, info.Defs[name])
+			n++
+		}
+	}
+	return objs, n
+}
+
+// FuncTaint runs the taint engine over a function declaration's body in
+// analysis mode (no parameter seeding) and returns the per-expression
+// taints. Analyzers call this once per declaration and then walk the
+// body looking at sinks.
+func (p *Pass) FuncTaint(fd *ast.FuncDecl) *FuncTaint {
+	resultObjs, nresults := resultObjects(p.Info, fd)
+	return analyzeBody(p.Info, p.Facts, fd.Body, nil, resultObjs, nresults)
+}
+
+// FuncLitTaint is FuncTaint for a function literal. Captured variables
+// start untainted (closure environments are not modeled; the engine is
+// intraprocedural).
+func (p *Pass) FuncLitTaint(lit *ast.FuncLit) *FuncTaint {
+	var nresults int
+	if lit.Type.Results != nil {
+		for _, field := range lit.Type.Results.List {
+			if len(field.Names) == 0 {
+				nresults++
+			} else {
+				nresults += len(field.Names)
+			}
+		}
+	}
+	return analyzeBody(p.Info, p.Facts, lit.Body, nil, nil, nresults)
+}

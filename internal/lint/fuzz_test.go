@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzParseAllowDirective checks the //lint:allow parser's invariants
+// over arbitrary comment text: it never panics, recognizes exactly the
+// "//lint:allow" prefix, returns an analyzer name only for well-formed
+// directives, and never returns a name containing whitespace.
+func FuzzParseAllowDirective(f *testing.F) {
+	f.Add("//lint:allow maporder fixture exercises the sink")
+	f.Add("//lint:allow maporder")
+	f.Add("//lint:allow")
+	f.Add("//lint:allow   ")
+	f.Add("// lint:allow maporder reason")
+	f.Add("//lint:allow\tmaporder\treason")
+	f.Add("/*lint:allow maporder reason*/")
+	f.Add("//lint:allowx y")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		analyzer, isDirective, ok := parseAllowDirective(s)
+		if isDirective != strings.HasPrefix(s, "//lint:allow") {
+			t.Fatalf("isDirective=%v disagrees with prefix for %q", isDirective, s)
+		}
+		if ok && !isDirective {
+			t.Fatalf("ok without isDirective for %q", s)
+		}
+		if !ok && analyzer != "" {
+			t.Fatalf("analyzer %q returned without ok for %q", analyzer, s)
+		}
+		if ok {
+			if analyzer == "" {
+				t.Fatalf("ok with empty analyzer for %q", s)
+			}
+			if strings.IndexFunc(analyzer, unicode.IsSpace) >= 0 {
+				t.Fatalf("analyzer %q contains whitespace for %q", analyzer, s)
+			}
+			// A well-formed directive always carries a reason after the
+			// analyzer name.
+			rest := strings.TrimPrefix(s, "//lint:allow")
+			if len(strings.Fields(rest)) < 2 {
+				t.Fatalf("ok for directive without reason: %q", s)
+			}
+		}
+	})
+}

@@ -58,6 +58,9 @@ type Pass struct {
 	// Info carries the full types.Info (Defs, Uses, Types,
 	// Selections, Scopes) for the files.
 	Info *types.Info
+	// Facts resolves cross-package taint summaries for the dataflow
+	// analyzers (see facts.go). Shared across all passes of one Run.
+	Facts *Facts
 
 	pkg  *Package
 	diag *[]Diagnostic
@@ -93,6 +96,7 @@ func (d Diagnostic) String() string {
 // combined findings sorted by file position.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	facts := NewFacts(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -101,6 +105,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Facts:    facts,
 				pkg:      pkg,
 				diag:     &diags,
 			}
@@ -134,6 +139,9 @@ func All() []*Analyzer {
 		NakedPanic,
 		WaitGroupCapture,
 		BareGo,
+		MapOrder,
+		WallTime,
+		CtxPoll,
 	}
 }
 

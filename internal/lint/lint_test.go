@@ -150,6 +150,10 @@ func TestAnalyzers(t *testing.T) {
 		{NakedPanic, "nakedpanic"},
 		{WaitGroupCapture, "waitgroupcapture"},
 		{BareGo, "barego"},
+		{MapOrder, "maporder"},
+		{WallTime, "walltime"},
+		{WallTime, "walltimecli"},
+		{CtxPoll, "ctxpoll"},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {

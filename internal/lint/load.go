@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -23,6 +25,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// loader links back to the Loader that produced this package, so
+	// the fact store can resolve declarations in dependency packages.
+	loader *Loader
 
 	// allows maps filename → line → set of analyzer names allowlisted
 	// at that line by //lint:allow directives.
@@ -168,9 +174,14 @@ func (l *Loader) walk(root string, dirs map[string]bool) error {
 	})
 }
 
-// LoadDir parses and type-checks the package in dir. It returns (nil,
-// nil) for directories with no non-test Go files.
+// LoadDir parses and type-checks the package in dir (relative paths
+// resolve against the working directory). It returns (nil, nil) for
+// directories with no non-test Go files.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
 	rel, err := filepath.Rel(l.moduleDir, dir)
 	if err != nil {
 		return nil, err
@@ -213,7 +224,14 @@ func (l *Loader) loadPath(path string) (*Package, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		if !fileIncluded(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, name, src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -249,12 +267,13 @@ func (l *Loader) loadPath(path string) (*Package, error) {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
 	pkg := &Package{
-		Path:  path,
-		Dir:   dir,
-		Fset:  l.fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:   path,
+		Dir:    dir,
+		Fset:   l.fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		loader: l,
 	}
 	pkg.collectAllows()
 	l.pkgs[path] = pkg
@@ -282,21 +301,74 @@ type importerFunc func(path string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
+// fileIncluded evaluates the file's build constraints (//go:build or
+// legacy // +build lines before the package clause) against the host
+// GOOS/GOARCH. Multiple constraint lines are conjoined, matching the
+// go tool. Files without constraints are always included.
+func fileIncluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(line) && !constraint.IsPlusBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			continue // malformed constraint: leave it to the compiler
+		}
+		if !expr.Eval(buildTagSatisfied) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildTagSatisfied answers for the host platform and the gc toolchain;
+// release tags (go1.x) are all considered satisfied.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		return rest != ""
+	}
+	return tag == "unix" && (runtime.GOOS == "linux" || runtime.GOOS == "darwin")
+}
+
+// parseAllowDirective parses one comment's text as a //lint:allow
+// directive. isDirective reports whether the comment is an allow
+// directive at all; ok reports whether it carries both the mandatory
+// analyzer name and a reason. The analyzer name is returned only when
+// ok.
+func parseAllowDirective(text string) (analyzer string, isDirective, ok bool) {
+	rest, found := strings.CutPrefix(text, "//lint:allow")
+	if !found {
+		return "", false, false
+	}
+	fields := strings.Fields(rest)
+	// Both the analyzer name and a reason are mandatory; a bare
+	// directive is reported, not honored.
+	if len(fields) < 2 {
+		return "", true, false
+	}
+	return fields[0], true, true
+}
+
 // collectAllows indexes //lint:allow directives by file and line.
 func (p *Package) collectAllows() {
 	p.allows = make(map[string]map[int]map[string]bool)
 	for _, f := range p.Files {
 		for _, group := range f.Comments {
 			for _, c := range group.List {
-				rest, ok := strings.CutPrefix(c.Text, "//lint:allow")
-				if !ok {
+				analyzer, isDirective, ok := parseAllowDirective(c.Text)
+				if !isDirective {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
-				fields := strings.Fields(rest)
-				// Both the analyzer name and a reason are mandatory;
-				// a bare directive is reported, not honored.
-				if len(fields) < 2 {
+				if !ok {
 					p.Malformed = append(p.Malformed, pos)
 					continue
 				}
@@ -310,7 +382,7 @@ func (p *Package) collectAllows() {
 					set = make(map[string]bool)
 					byLine[pos.Line] = set
 				}
-				set[fields[0]] = true
+				set[analyzer] = true
 			}
 		}
 	}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder is the dataflow analyzer behind the repository's core
+// reproducibility invariant: no value whose content or order depends on
+// Go's randomized map iteration order may reach a reported statistic,
+// rendered output, or persisted state without an intervening sort.
+//
+// Sources are `range` statements over maps (the key and value become
+// order-tainted) and calls to module functions whose fact summary says
+// they return map-ordered data (see Facts). Taint propagates through
+// assignments, arithmetic, composite literals, append, channel sends
+// and receives, and summarized intra-module calls; sort.* and
+// slices.Sort* sanitize their argument.
+//
+// Sinks, each reported:
+//
+//   - a float or string accumulator (x += tainted): float addition is
+//     not associative and string concatenation is order-dependent, so
+//     the result differs run to run;
+//   - a return of a tainted value from an exported function or method:
+//     the nondeterministic order escapes the package API;
+//   - a tainted argument to fmt output (Print/Fprint families),
+//     encoding/json marshalling, the render package, or
+//     runctl.SaveCheckpoint: the order reaches rendered tables, CSV,
+//     JSON, or checkpoint files directly.
+//
+// Integer accumulators (counters) are deliberately not sinks: integer
+// addition is exact and commutative, so map-order iteration cannot
+// change the result.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid map-iteration order from reaching accumulators, output, or returns without a sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ft := pass.FuncTaint(fd)
+			checkMapOrderBody(pass, ft, fd.Body, fd.Name.IsExported())
+		}
+	}
+	return nil
+}
+
+// checkMapOrderBody walks one body (not descending into nested function
+// literals, which get their own taint analysis and are never "exported"
+// API) and reports taint at sinks.
+func checkMapOrderBody(pass *Pass, ft *FuncTaint, body *ast.BlockStmt, exported bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkMapOrderBody(pass, pass.FuncLitTaint(n), n.Body, false)
+			return false
+		case *ast.AssignStmt:
+			checkMapOrderAccum(pass, ft, n)
+		case *ast.ReturnStmt:
+			if !exported {
+				return true
+			}
+			for _, e := range n.Results {
+				if ft.Of(e)&TaintMapOrder != 0 {
+					pass.Report(n.Pos(),
+						"exported function returns data in map-iteration order; sort before returning")
+					break
+				}
+			}
+		case *ast.CallExpr:
+			checkMapOrderCallSink(pass, ft, n)
+		}
+		return true
+	})
+}
+
+// checkMapOrderAccum flags order-sensitive accumulation: compound
+// assignment of a map-ordered value into a float or string.
+func checkMapOrderAccum(pass *Pass, ft *FuncTaint, a *ast.AssignStmt) {
+	switch a.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	if ft.Of(a.Rhs[0])&TaintMapOrder == 0 {
+		return
+	}
+	t := pass.Info.TypeOf(a.Lhs[0])
+	if isFloat(t) {
+		pass.Report(a.Pos(),
+			"float accumulation in map-iteration order is not reproducible (addition is not associative); iterate sorted keys")
+		return
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		pass.Report(a.Pos(),
+			"string built in map-iteration order differs run to run; iterate sorted keys")
+	}
+}
+
+// mapOrderSinkCalls maps callee → index of the first argument to check
+// (1 skips the io.Writer of the Fprint family).
+var mapOrderSinkCalls = map[string]int{
+	"fmt.Print": 0, "fmt.Printf": 1, "fmt.Println": 0,
+	"fmt.Fprint": 1, "fmt.Fprintf": 2, "fmt.Fprintln": 1,
+	"encoding/json.Marshal": 0, "encoding/json.MarshalIndent": 0,
+	"mlec/internal/runctl.SaveCheckpoint": 1,
+}
+
+// checkMapOrderCallSink flags tainted arguments reaching output calls.
+func checkMapOrderCallSink(pass *Pass, ft *FuncTaint, call *ast.CallExpr) {
+	name := calleeName(pass.Info, call)
+	from, ok := mapOrderSinkCalls[name]
+	if !ok {
+		// Any function of the render package is an output sink.
+		if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "mlec/internal/render" {
+			from = 0
+		} else if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel &&
+			sel.Sel.Name == "Encode" && isJSONEncoder(pass.Info.TypeOf(sel.X)) {
+			from = 0
+		} else {
+			return
+		}
+	}
+	for i := from; i < len(call.Args); i++ {
+		if ft.Of(call.Args[i])&TaintMapOrder != 0 {
+			pass.Report(call.Args[i].Pos(),
+				"map-iteration-ordered value reaches %s output; sort before emitting", sinkLabel(name))
+			return
+		}
+	}
+}
+
+func sinkLabel(callee string) string {
+	switch callee {
+	case "encoding/json.Marshal", "encoding/json.MarshalIndent":
+		return "JSON"
+	case "mlec/internal/runctl.SaveCheckpoint":
+		return "checkpoint"
+	case "":
+		return "rendered"
+	}
+	return "printed"
+}
+
+// isJSONEncoder reports whether t is *encoding/json.Encoder.
+func isJSONEncoder(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Encoder" && obj.Pkg() != nil && obj.Pkg().Path() == "encoding/json"
+}

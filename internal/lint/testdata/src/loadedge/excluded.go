@@ -1,0 +1,8 @@
+//go:build neverenabledtag
+
+package loadedge
+
+// Excluded references an undefined identifier on purpose: if the loader
+// fails to honor the //go:build constraint above, type-checking this
+// package errors out and the loader test fails loudly.
+func Excluded() int { return definitelyUndefined }

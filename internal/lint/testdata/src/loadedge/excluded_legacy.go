@@ -1,0 +1,7 @@
+// +build neverenabledtag
+
+package loadedge
+
+// ExcludedLegacy checks the pre-go1.17 constraint syntax; like
+// excluded.go it fails type-checking if ever included.
+func ExcludedLegacy() int { return alsoUndefined }

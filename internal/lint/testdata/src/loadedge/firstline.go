@@ -1,0 +1,5 @@
+//lint:allow walltime fixture: directive on the very first line of a file
+package loadedge
+
+// FirstLine anchors the first-line-directive test.
+func FirstLine() int { return 2 }

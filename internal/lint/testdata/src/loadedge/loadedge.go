@@ -1,0 +1,12 @@
+// Package loadedge exercises loader edge cases: build-constrained
+// sibling files and //lint:allow directive placement.
+package loadedge
+
+// Included marks the unconditionally built file.
+func Included() int { return 1 }
+
+//lint:allow maporder fixture: directive with analyzer and reason
+var allowedHere = 0
+
+//lint:allow maporder
+var malformedMissingReason = 0

@@ -1,0 +1,114 @@
+// Package maporder exercises the maporder dataflow analyzer: data
+// derived from map iteration must be sorted before it reaches an
+// accumulator, an output call, or an exported return.
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"mlec/internal/lint/testdata/src/maporderdep"
+)
+
+// KeysUnsorted leaks map order through an exported return.
+func KeysUnsorted(m map[int]int) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks // want `returns data in map-iteration order`
+}
+
+// KeysSorted re-establishes a canonical order before returning.
+func KeysSorted(m map[int]int) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// keysLocal is unexported: map order staying inside the package is the
+// caller's problem, reported where it reaches a sink.
+func keysLocal(m map[int]int) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// SumFloats folds floats in map order: addition is not associative, so
+// the sum (and the value returned from it) differs run to run.
+func SumFloats(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `float accumulation in map-iteration order`
+	}
+	return sum // want `returns data in map-iteration order`
+}
+
+// CountInts is exact and commutative: integer accumulation cannot
+// observe iteration order, so neither line is flagged.
+func CountInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// JoinKeys concatenates strings in map order.
+func JoinKeys(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string built in map-iteration order`
+	}
+	return s // want `returns data in map-iteration order`
+}
+
+// PrintUnsorted emits keys in nondeterministic order.
+func PrintUnsorted(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `reaches printed output`
+	}
+}
+
+// PrintSorted collects, sorts, then prints: the sort sanitizes.
+func PrintSorted(m map[string]int) {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		fmt.Println(k)
+	}
+}
+
+// PrintAllowed is a reviewed suppression site.
+func PrintAllowed(m map[string]int) {
+	for k := range m {
+		//lint:allow maporder debug dump where ordering is irrelevant
+		fmt.Println(k)
+	}
+}
+
+// MarshalUnsorted persists map-ordered values as JSON.
+func MarshalUnsorted(m map[int]string) {
+	var vals []string
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	_, _ = json.Marshal(vals) // want `reaches JSON output`
+}
+
+// PrintDepKeys inherits the order taint of maporderdep.Keys through its
+// cross-package fact summary.
+func PrintDepKeys(m map[int]int) {
+	for _, k := range maporderdep.Keys(m) {
+		fmt.Println(k) // want `reaches printed output`
+	}
+}

@@ -1,0 +1,14 @@
+// Package maporderdep is the cross-package half of the maporder
+// fixture: its exported Keys leaks map-iteration order through its
+// result, and the fact store must carry that summary into importing
+// packages under analysis.
+package maporderdep
+
+// Keys returns the keys of m in map-iteration order.
+func Keys(m map[int]int) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

@@ -1,0 +1,7 @@
+package onlytests
+
+import "testing"
+
+// TestNothing exists so this directory holds only _test.go files: the
+// loader must report it as "no package" (nil, nil), not an error.
+func TestNothing(t *testing.T) {}

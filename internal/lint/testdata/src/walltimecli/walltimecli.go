@@ -1,0 +1,22 @@
+// Package walltimecli shows the walltime analyzer's package
+// restriction: identical wall-clock stores are legal outside the
+// simulation packages (CLI progress timers, report stamps), so nothing
+// here is flagged.
+package walltimecli
+
+import "time"
+
+type progress struct {
+	startedAt time.Time
+	elapsedS  float64
+}
+
+// Start stores a wall-clock reading — fine in CLI code.
+func (p *progress) Start() {
+	p.startedAt = time.Now()
+}
+
+// Lap accumulates host time — fine in CLI code.
+func (p *progress) Lap() {
+	p.elapsedS += time.Since(p.startedAt).Seconds()
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 
 	"mlec/internal/failure"
 	"mlec/internal/runctl"
@@ -342,9 +343,18 @@ func runTrajectory(cfg Config, ttf failure.Exponential, entry *snapshot, rng *ra
 		})
 	}
 
+	// Schedule detections in ascending disk order: the event queue
+	// breaks time ties by insertion sequence, so scheduling straight out
+	// of the map would let map iteration order pick which same-time
+	// detection fires first.
+	detectDisks := make([]int, 0, len(entry.detectRemaining))
+	for d := range entry.detectRemaining {
+		detectDisks = append(detectDisks, d)
+	}
+	sort.Ints(detectDisks)
 	detectAt := make(map[int]float64, len(entry.detectRemaining))
-	for d, rem := range entry.detectRemaining {
-		d := d
+	for _, d := range detectDisks {
+		d, rem := d, entry.detectRemaining[d]
 		detectAt[d] = rem
 		eng.Schedule(rem, func() {
 			pool.DetectDisk(d)

@@ -21,6 +21,7 @@ package repair
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"mlec/internal/bwmodel"
 	"mlec/internal/mathx"
@@ -64,6 +65,19 @@ var AllMethods = []Method{RAll, RFCO, RHYB, RMin}
 // number of local stripes having exactly j failed chunks, for j ≥ 1.
 // Counts are float64 because analytic profiles are expectations.
 type StripeProfile map[int]float64
+
+// sortedFailureCounts returns the profile's failure counts j in
+// ascending order. Expectation sums iterate this instead of the map so
+// float accumulation order — and with it the last ULP of every derived
+// statistic — is identical run to run.
+func (p StripeProfile) sortedFailureCounts() []int {
+	js := make([]int, 0, len(p))
+	for j := range p {
+		js = append(js, j)
+	}
+	sort.Ints(js)
+	return js
+}
 
 // BurstProfile returns the stripe profile of a local pool that just lost
 // `failed` disks simultaneously (the paper's catastrophic-failure
@@ -149,13 +163,14 @@ func (a *Analyzer) AnalyzeProfile(m Method, failedDisks int, prof StripeProfile)
 		netBytes = l.LocalPoolDataBytes()
 	case RFCO:
 		// Every failed chunk is rebuilt over the network.
-		for j, n := range prof {
-			netBytes += n * float64(j) * chunk
+		for _, j := range prof.sortedFailureCounts() {
+			netBytes += prof[j] * float64(j) * chunk
 		}
 	case RHYB:
 		// Lost stripes (> pl failures) over the network, the rest
 		// locally.
-		for j, n := range prof {
+		for _, j := range prof.sortedFailureCounts() {
+			n := prof[j]
 			if j > pl {
 				netBytes += n * float64(j) * chunk
 			} else {
@@ -165,7 +180,8 @@ func (a *Analyzer) AnalyzeProfile(m Method, failedDisks int, prof StripeProfile)
 	case RMin:
 		// Stage 1: j−pl chunks per lost stripe over the network.
 		// Stage 2: everything else locally.
-		for j, n := range prof {
+		for _, j := range prof.sortedFailureCounts() {
+			n := prof[j]
 			if j > pl {
 				netBytes += n * float64(j-pl) * chunk
 				locBytes += n * float64(pl) * chunk
