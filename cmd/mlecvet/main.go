@@ -5,11 +5,19 @@
 //
 // Usage:
 //
-//	mlecvet [-analyzers name,name] [-json] [-list] [-timeout D] [patterns...]
+//	mlecvet [-only name,name] [-json] [-list] [-baseline file]
+//	        [-write-baseline] [-timeout D] [patterns...]
 //
 // Patterns default to ./... and support ./dir and ./dir/... forms
 // rooted at the module. The exit status is 0 when the tree is clean, 1
 // when any analyzer reports a finding, 2 on usage or load errors.
+//
+// With -baseline, the exit status ratchets instead: the run fails only
+// when some analyzer reports more findings than the committed baseline
+// allows, so a new analyzer can land with a non-zero debt that may
+// shrink but never grow. When a count falls below the baseline the run
+// stays green and suggests regenerating with -write-baseline, which
+// rewrites the file with the current counts.
 //
 // With -json, findings are emitted to stdout as a single JSON document
 // (schema below) instead of line-oriented text, so CI can archive and
@@ -36,6 +44,7 @@ import (
 	"fmt"
 	"go/token"
 	"os"
+	"sort"
 
 	"mlec/internal/lint"
 	"mlec/internal/runctl"
@@ -68,10 +77,25 @@ type jsonReport struct {
 
 func main() {
 	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	only := flag.String("only", "", "comma-separated analyzer subset (alias of -analyzers)")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON document on stdout")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	baseline := flag.String("baseline", "", "baseline JSON file: fail only when an analyzer's finding count rises above it")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the -baseline file with the current finding counts")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for loading and analysis (0 = none)")
 	flag.Parse()
+
+	if *only != "" {
+		if *analyzers != "" && *analyzers != *only {
+			fmt.Fprintln(os.Stderr, "mlecvet: -only and -analyzers select different sets; use one")
+			os.Exit(2)
+		}
+		*analyzers = *only
+	}
+	if *writeBaseline && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "mlecvet: -write-baseline needs -baseline to name the file")
+		os.Exit(2)
+	}
 
 	ctx, stop := runctl.CLIContext(*timeout)
 	defer stop()
@@ -133,6 +157,9 @@ func main() {
 		for _, pos := range pkg.Malformed {
 			report.MalformedDirectives = append(report.MalformedDirectives, toJSONPos(pos))
 		}
+		for _, pos := range pkg.MalformedUnit {
+			report.MalformedDirectives = append(report.MalformedDirectives, toJSONPos(pos))
+		}
 	}
 	for _, d := range diags {
 		report.Findings = append(report.Findings, jsonFinding{
@@ -153,12 +180,83 @@ func main() {
 			for _, pos := range pkg.Malformed {
 				fmt.Printf("%s: directive: //lint:allow needs an analyzer name and a reason\n", pos)
 			}
+			for _, pos := range pkg.MalformedUnit {
+				fmt.Printf("%s: directive: //mlec:unit needs a domain (prob, logprob, rate, count, weight)\n", pos)
+			}
 		}
 		for _, d := range diags {
 			fmt.Println(d)
 		}
 	}
-	if len(report.Findings) > 0 || len(report.MalformedDirectives) > 0 {
+
+	counts := make(map[string]int)
+	for _, a := range selected {
+		counts[a.Name] = 0
+	}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	if *writeBaseline {
+		if err := saveBaseline(*baseline, counts); err != nil {
+			fmt.Fprintln(os.Stderr, "mlecvet:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "mlecvet: wrote %s\n", *baseline)
+		return
+	}
+
+	fail := len(report.MalformedDirectives) > 0
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlecvet:", err)
+			os.Exit(2)
+		}
+		names := make([]string, 0, len(counts))
+		for name := range counts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			got, allowed := counts[name], base[name]
+			switch {
+			case got > allowed:
+				fmt.Fprintf(os.Stderr, "mlecvet: %s: %d findings exceed the baseline of %d\n",
+					name, got, allowed)
+				fail = true
+			case got < allowed:
+				fmt.Fprintf(os.Stderr,
+					"mlecvet: %s: %d findings, below the baseline of %d; ratchet down with -baseline %s -write-baseline\n",
+					name, got, allowed, *baseline)
+			}
+		}
+	} else if len(report.Findings) > 0 {
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
+}
+
+// loadBaseline reads the per-analyzer finding-count ratchet file.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	base := make(map[string]int)
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return base, nil
+}
+
+// saveBaseline writes the ratchet file with stable key order (the
+// encoding/json map encoder already sorts keys).
+func saveBaseline(path string, counts map[string]int) error {
+	data, err := json.MarshalIndent(counts, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

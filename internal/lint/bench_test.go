@@ -1,0 +1,30 @@
+package lint
+
+import "testing"
+
+// BenchmarkMlecvetWholeRepo measures a full `mlecvet ./...` — load,
+// type-check, eager whole-program summary computation, and every
+// analyzer — which is exactly what `make check` runs with a 60-second
+// budget (cmd/mlecvet -timeout). The benchmark keeps that budget honest
+// locally: at the time of writing a full run is under three seconds, so
+// a regression that threatens the CI gate is a 20× slowdown, visible
+// long before the gate trips.
+func BenchmarkMlecvetWholeRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l, err := NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := l.Load("./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		diags, err := Run(pkgs, All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("repository is not clean: %v", diags[0])
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// callGraph is the module-wide direct-call graph over every function
+// declaration the fact store indexed. It exists to order the eager
+// summary computation: summaries are evaluated bottom-up over the
+// strongly-connected-component condensation, so by the time a caller is
+// summarized every callee outside its own cycle is final, and callees
+// inside the cycle converge by fixed-point iteration (see facts.go).
+//
+// Edges cover direct calls only — a call through a function value or an
+// interface method has no compile-time callee and is handled
+// conservatively by the dataflow engines. Calls made inside function
+// literals are attributed to the enclosing declaration: the closure runs
+// with the declaration's summaries in scope, and for ordering purposes
+// "may transitively invoke" is the relation that matters.
+type callGraph struct {
+	// nodes in deterministic declaration order (file name, then offset).
+	nodes []*cgNode
+	// sccs lists the condensation bottom-up: every callee of a node in
+	// sccs[i] lies in some sccs[j] with j ≤ i. Nodes within one SCC call
+	// each other (or are singletons).
+	sccs [][]*cgNode
+}
+
+// cgNode is one function declaration in the call graph.
+type cgNode struct {
+	fn   *types.Func
+	site *declSite
+	// callees in first-call order, deduplicated, intra-module only.
+	callees []*cgNode
+
+	// Tarjan bookkeeping.
+	index, lowlink int
+	onStack        bool
+}
+
+// buildCallGraph constructs the graph over decls. Iteration order is
+// made deterministic by sorting declarations by source position, so the
+// SCC list (and therefore summary evaluation order and any diagnostics
+// that depend on it) is stable run to run.
+func buildCallGraph(decls map[*types.Func]*declSite) *callGraph {
+	g := &callGraph{}
+	byFn := make(map[*types.Func]*cgNode, len(decls))
+	for fn, site := range decls {
+		n := &cgNode{fn: fn, site: site, index: -1}
+		byFn[fn] = n
+		g.nodes = append(g.nodes, n)
+	}
+	sort.Slice(g.nodes, func(i, j int) bool {
+		a := g.nodes[i].site.pkg.Fset.Position(g.nodes[i].site.decl.Pos())
+		b := g.nodes[j].site.pkg.Fset.Position(g.nodes[j].site.decl.Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for _, n := range g.nodes {
+		n.collectCallees(byFn)
+	}
+	g.condense()
+	return g
+}
+
+// collectCallees walks the declaration body (descending into function
+// literals) and records every resolvable intra-module callee once.
+func (n *cgNode) collectCallees(byFn map[*types.Func]*cgNode) {
+	if n.site.decl.Body == nil {
+		return
+	}
+	seen := make(map[*cgNode]bool)
+	info := n.site.pkg.Info
+	ast.Inspect(n.site.decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		callee, ok := byFn[fn]
+		if !ok || seen[callee] {
+			return true
+		}
+		seen[callee] = true
+		n.callees = append(n.callees, callee)
+		return true
+	})
+}
+
+// condense runs Tarjan's strongly-connected-components algorithm. A
+// property of Tarjan worth relying on: components are emitted in
+// reverse topological order of the condensation — callees before
+// callers — which is exactly the bottom-up evaluation order the eager
+// fact store needs, so the emission order is kept as-is.
+func (g *callGraph) condense() {
+	t := &tarjan{}
+	for _, n := range g.nodes {
+		if n.index < 0 {
+			t.strongConnect(n)
+		}
+	}
+	g.sccs = t.sccs
+}
+
+type tarjan struct {
+	counter int
+	stack   []*cgNode
+	sccs    [][]*cgNode
+}
+
+func (t *tarjan) strongConnect(n *cgNode) {
+	n.index = t.counter
+	n.lowlink = t.counter
+	t.counter++
+	t.stack = append(t.stack, n)
+	n.onStack = true
+	for _, m := range n.callees {
+		if m.index < 0 {
+			t.strongConnect(m)
+			if m.lowlink < n.lowlink {
+				n.lowlink = m.lowlink
+			}
+		} else if m.onStack && m.index < n.lowlink {
+			n.lowlink = m.index
+		}
+	}
+	if n.lowlink != n.index {
+		return
+	}
+	var scc []*cgNode
+	for {
+		m := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		m.onStack = false
+		scc = append(scc, m)
+		if m == n {
+			break
+		}
+	}
+	t.sccs = append(t.sccs, scc)
+}

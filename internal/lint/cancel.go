@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// Cancel is the probflow analyzer for catastrophic cancellation in
+// probability arithmetic. In the durability regime this repository
+// reproduces, probabilities span fifteen orders of magnitude below 1,
+// and two float64 idioms silently destroy them:
+//
+//   - 1 − exp(x): when exp(x) is within 1e-16 of 1 the subtraction
+//     returns exactly 0 (or keeps one digit); −math.Expm1(x) returns
+//     the full 53 bits. The engine's ViaExp provenance bit tracks exp
+//     results through assignments and helpers, so q := math.Exp(lq);
+//     … ; 1−q is caught, not just the inline form.
+//   - log(1±x): for |x| ≪ 1 the addition rounds to 1 before the log
+//     sees it; math.Log1p(±x) keeps the digits.
+//   - p − q for two linear-domain probabilities: when they are close
+//     (the interesting case — e.g. a tail minus its next term) the
+//     difference keeps only the digits in which they differ. Track
+//     complements or work in log space.
+//
+// The third form is reported only when the domain engine proves both
+// operands are probabilities; intervals, hours and counts subtract
+// freely.
+var Cancel = &Analyzer{
+	Name: "cancel",
+	Doc:  "flag 1-exp(x), log(1±x), and prob−prob subtractions that cancel catastrophically; suggest Expm1/Log1p/complements",
+	Run:  runCancel,
+}
+
+func runCancel(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCancelBody(pass, pass.FuncDomains(fd), fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkCancelBody(pass *Pass, doms *FuncDomains, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkCancelBody(pass, pass.FuncLitDomains(n), n.Body)
+			return false
+		case *ast.BinaryExpr:
+			checkCancelSub(pass, doms, n)
+		case *ast.CallExpr:
+			checkCancelLog(pass, n)
+		}
+		return true
+	})
+}
+
+// checkCancelSub handles the subtraction forms.
+func checkCancelSub(pass *Pass, doms *FuncDomains, e *ast.BinaryExpr) {
+	if e.Op != token.SUB {
+		return
+	}
+	x, y := doms.Of(e.X), doms.Of(e.Y)
+	// 1 − x where x came through math.Exp: the subtraction undoes the
+	// log-domain rescue. −Expm1 computes 1−e^v exactly for every sign
+	// of v, so the suggestion is unconditional.
+	if isUntypedOne(pass, e.X) && y.ViaExp {
+		pass.Report(e.OpPos,
+			"1 - exp(x) cancels catastrophically when exp(x) is near 1; use -math.Expm1(x)")
+		return
+	}
+	// p − q on two linear probabilities.
+	if x.D == DomProb && y.D == DomProb &&
+		!isConstExpr(pass, e.X) && !isConstExpr(pass, e.Y) {
+		pass.Report(e.OpPos,
+			"subtracting two probabilities cancels when they are close; track the complement or work in log domain")
+	}
+}
+
+// checkCancelLog handles math.Log(1±x) → math.Log1p(±x).
+func checkCancelLog(pass *Pass, call *ast.CallExpr) {
+	if calleeName(pass.Info, call) != "math.Log" || len(call.Args) != 1 {
+		return
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	switch arg.Op {
+	case token.ADD:
+		if isUntypedOne(pass, arg.X) && !isConstExpr(pass, arg.Y) {
+			pass.Report(call.Pos(), "log(1 + x) loses x's digits for small x; use math.Log1p(x)")
+		} else if isUntypedOne(pass, arg.Y) && !isConstExpr(pass, arg.X) {
+			pass.Report(call.Pos(), "log(x + 1) loses x's digits for small x; use math.Log1p(x)")
+		}
+	case token.SUB:
+		if isUntypedOne(pass, arg.X) && !isConstExpr(pass, arg.Y) {
+			pass.Report(call.Pos(), "log(1 - x) loses x's digits for small x; use math.Log1p(-x)")
+		}
+	}
+}
+
+// isUntypedOne reports whether e is the constant 1 (any float or
+// integer spelling).
+func isUntypedOne(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 1
+}
+
+// isConstExpr reports whether e is a compile-time constant.
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[ast.Unparen(e)]
+	return ok && tv.Value != nil
+}

@@ -2,27 +2,48 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
 )
 
-// Facts is the cross-package fact store, modeled on go/analysis facts:
-// for every function of the module it can produce a taint summary —
-// which taint kinds the function's results carry on their own (e.g. a
-// function that builds a slice from map-range keys) and which
-// parameters flow into which results. Analyzers consult the store
-// through the taint engine, so a package importing another package's
-// "returns map-ordered data" function inherits the taint at the call
-// site even when only one package is under analysis.
+// Facts is the whole-program fact store — the probflow layer. Where the
+// first generation of this file computed taint summaries lazily with an
+// optimistic recursion cut-off, the store now evaluates eagerly: it
+// builds the module call graph (callgraph.go), condenses it into
+// strongly connected components, and walks the condensation bottom-up
+// so every summary is computed after the summaries it depends on.
+// Within a component (recursion, mutual recursion) the member
+// summaries iterate to a fixed point; every lattice involved is finite
+// with monotone transfer functions, so the iteration terminates and is
+// exact where the lazy cut-off used to be merely optimistic.
 //
-// Summaries are computed lazily and memoized. Recursive and mutually
-// recursive calls are cut off optimistically (the in-progress function
-// reports no flow); a fixed point over recursion is not worth the
-// complexity for a linter whose fixtures and sweep define the required
-// precision.
+// Three summaries are maintained per function:
+//
+//   - taint (funcSummary): which taint kinds each result carries and
+//     which parameters flow into it — the engine behind maporder,
+//     walltime and ctxpoll;
+//   - domain (domainSummary): the numeric Domain of each result — the
+//     engine behind probmix and cancel;
+//   - mayFail (bool): whether the function can return a non-nil error —
+//     the engine behind errflow. A function that returns only literal
+//     nil errors (directly or through callees, including recursive
+//     ones) is proven infallible and its discarded errors are not
+//     findings.
 type Facts struct {
-	decls      map[*types.Func]*declSite
-	summaries  map[*types.Func]*funcSummary
-	inProgress map[*types.Func]bool
+	decls map[*types.Func]*declSite
+	fset  *token.FileSet
+	units unitIndex
+
+	summaries map[*types.Func]*funcSummary
+	domains   map[*types.Func]*domainSummary
+	mayFail   map[*types.Func]bool
+
+	// sccCount and maxSCCIters are recorded for tests and the
+	// benchmark: how big the condensation was and the deepest
+	// fixed-point iteration any component needed.
+	sccCount    int
+	maxSCCIters int
 }
 
 // declSite pairs a function declaration with the package whose
@@ -42,27 +63,43 @@ type funcSummary struct {
 	recvFlows bool
 }
 
+// domainSummary is one function's numeric-domain behaviour: the Domain
+// of each result slot.
+type domainSummary struct {
+	results []DomVal
+}
+
 // receiver flow is tracked with the top param bit, far above any real
 // Go parameter list this module will see.
 const recvBit = 1 << 31
 
+// sccIterationCap bounds the fixed-point loop per component. The
+// lattices are finite and the transfers monotone, so the bound is never
+// reached by construction; it exists so a future non-monotone transfer
+// bug degrades to imprecision instead of a hang.
+const sccIterationCap = 64
+
 // NewFacts indexes every function declaration reachable through the
 // packages' loader (analyzed packages plus their intra-module
-// dependencies), so call sites resolve summaries across package
-// boundaries.
+// dependencies) and eagerly computes all summaries bottom-up over the
+// call graph's SCC condensation.
 func NewFacts(pkgs []*Package) *Facts {
 	f := &Facts{
-		decls:      make(map[*types.Func]*declSite),
-		summaries:  make(map[*types.Func]*funcSummary),
-		inProgress: make(map[*types.Func]bool),
+		decls:     make(map[*types.Func]*declSite),
+		units:     make(unitIndex),
+		summaries: make(map[*types.Func]*funcSummary),
+		domains:   make(map[*types.Func]*domainSummary),
+		mayFail:   make(map[*types.Func]bool),
 	}
 	seen := make(map[*Package]bool)
-	var index func(p *Package)
-	index = func(p *Package) {
+	index := func(p *Package) {
 		if p == nil || seen[p] {
 			return
 		}
 		seen[p] = true
+		if f.fset == nil {
+			f.fset = p.Fset
+		}
 		for _, file := range p.Files {
 			for _, d := range file.Decls {
 				fd, ok := d.(*ast.FuncDecl)
@@ -74,36 +111,102 @@ func NewFacts(pkgs []*Package) *Facts {
 				}
 			}
 		}
+		for file, lines := range p.units {
+			f.units[file] = lines
+		}
 	}
 	for _, p := range pkgs {
 		index(p)
 		if p.loader != nil {
-			for _, dep := range p.loader.pkgs {
-				index(dep)
+			paths := make([]string, 0, len(p.loader.pkgs))
+			for path := range p.loader.pkgs {
+				paths = append(paths, path)
+			}
+			sort.Strings(paths)
+			for _, path := range paths {
+				index(p.loader.pkgs[path])
 			}
 		}
 	}
+	f.computeAll(buildCallGraph(f.decls))
 	return f
 }
 
-// summaryOf returns the function's taint summary, or nil when the
-// function's source is outside the module (std lib, no AST).
-func (f *Facts) summaryOf(fn *types.Func) *funcSummary {
-	if sum, ok := f.summaries[fn]; ok {
-		return sum
+// computeAll walks the condensation bottom-up. Singleton components
+// converge in one pass (their callees are final); cyclic components
+// start from the optimistic bottom (empty summaries, mayFail=false) and
+// iterate until nothing changes.
+func (f *Facts) computeAll(g *callGraph) {
+	f.sccCount = len(g.sccs)
+	for _, scc := range g.sccs {
+		for _, n := range scc {
+			f.summaries[n.fn] = &funcSummary{results: make([]taintVal, resultCount(n.fn))}
+			f.domains[n.fn] = &domainSummary{results: make([]DomVal, resultCount(n.fn))}
+			f.mayFail[n.fn] = false
+		}
+		for iter := 1; iter <= sccIterationCap; iter++ {
+			changed := false
+			for _, n := range scc {
+				if sum := f.computeTaint(n); !sum.equal(f.summaries[n.fn]) {
+					f.summaries[n.fn] = sum
+					changed = true
+				}
+				if dom := f.computeDomains(n); !dom.equal(f.domains[n.fn]) {
+					f.domains[n.fn] = dom
+					changed = true
+				}
+				if mf := f.computeMayFail(n); mf != f.mayFail[n.fn] {
+					f.mayFail[n.fn] = mf
+					changed = true
+				}
+			}
+			if iter > f.maxSCCIters {
+				f.maxSCCIters = iter
+			}
+			if !changed {
+				break
+			}
+		}
 	}
-	site, ok := f.decls[fn]
-	if !ok || site.decl.Body == nil {
-		return nil
-	}
-	if f.inProgress[fn] {
-		return nil // recursion cut-off
-	}
-	f.inProgress[fn] = true
-	defer delete(f.inProgress, fn)
+}
 
-	fd := site.decl
-	info := site.pkg.Info
+func resultCount(fn *types.Func) int {
+	return fn.Type().(*types.Signature).Results().Len()
+}
+
+func (s *funcSummary) equal(o *funcSummary) bool {
+	if s.recvFlows != o.recvFlows || len(s.results) != len(o.results) {
+		return false
+	}
+	for i := range s.results {
+		if s.results[i] != o.results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *domainSummary) equal(o *domainSummary) bool {
+	if len(d.results) != len(o.results) {
+		return false
+	}
+	for i := range d.results {
+		if d.results[i] != o.results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// computeTaint runs the taint engine over one declaration in summary
+// mode (parameters seeded with their flow bits).
+func (f *Facts) computeTaint(n *cgNode) *funcSummary {
+	fd := n.site.decl
+	info := n.site.pkg.Info
+	nres := resultCount(n.fn)
+	if fd.Body == nil {
+		return &funcSummary{results: make([]taintVal, nres)}
+	}
 
 	params := make(map[types.Object]taintVal)
 	bit := 0
@@ -130,8 +233,193 @@ func (f *Facts) summaryOf(fn *types.Func) *funcSummary {
 		}
 		sum.results[i] = r
 	}
-	f.summaries[fn] = sum
 	return sum
+}
+
+// computeDomains runs the domain engine over one declaration with
+// parameters seeded from their declarations, then fills still-unknown
+// result slots from the result declarations and, for the first slot,
+// the function's own name — HypergeomTail's body may end in an opaque
+// accumulator, but its name says probability.
+func (f *Facts) computeDomains(n *cgNode) *domainSummary {
+	fd := n.site.decl
+	info := n.site.pkg.Info
+	nres := resultCount(n.fn)
+	sum := &domainSummary{results: make([]DomVal, nres)}
+	if fd.Body == nil {
+		return sum
+	}
+	resultObjs, nresults := resultObjects(info, fd)
+	flow := domainFlow(info, f, fd.Body, f.paramSeeds(fd, info), resultObjs, nresults)
+	copy(sum.results, flow.results)
+	for i := range sum.results {
+		if !sum.results[i].isNone() {
+			continue
+		}
+		if i < len(resultObjs) && resultObjs[i] != nil {
+			sum.results[i] = seedObject(f.units, f.fset, resultObjs[i])
+		}
+	}
+	if nres > 0 && sum.results[0].isNone() {
+		sum.results[0] = f.declSeed(n.fn, fd)
+	}
+	// An explicit //mlec:unit annotation on the declaration is a human
+	// claim and overrides inference: Choose goes through exp(logΓ) so
+	// the engine sees a probability, but its result is a count.
+	if nres > 0 {
+		if d, ok := f.units.at(f.fset.Position(fd.Pos())); ok {
+			sum.results[0] = DomVal{D: d}
+		}
+	}
+	return sum
+}
+
+// declSeed derives the declared domain of a function's primary result:
+// an //mlec:unit annotation on (or directly above) the declaration
+// wins, then the name heuristic, both gated on the result being
+// floating-point.
+func (f *Facts) declSeed(fn *types.Func, fd *ast.FuncDecl) DomVal {
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() == 0 {
+		return DomVal{}
+	}
+	rt := sig.Results().At(0).Type()
+	if isIntegerType(rt) {
+		return DomVal{D: DomCount}
+	}
+	if !isFloat(rt) {
+		return DomVal{}
+	}
+	if d, ok := f.units.at(f.fset.Position(fd.Pos())); ok {
+		return DomVal{D: d}
+	}
+	return DomVal{D: domainFromName(fn.Name())}
+}
+
+// paramSeeds maps each parameter (and receiver) to its declared domain.
+func (f *Facts) paramSeeds(fd *ast.FuncDecl, info *types.Info) map[types.Object]DomVal {
+	params := make(map[types.Object]DomVal)
+	add := func(name *ast.Ident) {
+		obj := info.Defs[name]
+		if v := seedObject(f.units, f.fset, obj); !v.isNone() {
+			params[obj] = v
+		}
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			add(name)
+		}
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		add(fd.Recv.List[0].Names[0])
+	}
+	return params
+}
+
+// computeMayFail decides whether the function can return a non-nil
+// error. Only the error slot of each return statement matters: a
+// literal nil contributes nothing, a tail call to a summarized module
+// function contributes that callee's current fact, anything else is
+// conservatively fallible. Bare returns of a named error are
+// conservative too — proving the named variable nil on every path is
+// the flow engines' job, not worth duplicating here.
+func (f *Facts) computeMayFail(n *cgNode) bool {
+	sig := n.fn.Type().(*types.Signature)
+	res := sig.Results()
+	if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+		return false
+	}
+	fd := n.site.decl
+	if fd.Body == nil {
+		return true
+	}
+	info := n.site.pkg.Info
+	errIdx := res.Len() - 1
+	fails := false
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		if fails {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false // closure returns are the closure's
+		case *ast.ReturnStmt:
+			fails = f.returnMayFail(info, node, errIdx, res.Len())
+			return false
+		}
+		return true
+	})
+	return fails
+}
+
+// returnMayFail inspects one return statement's error slot.
+func (f *Facts) returnMayFail(info *types.Info, ret *ast.ReturnStmt, errIdx, nres int) bool {
+	if len(ret.Results) == 0 {
+		return true // bare return of a named error: conservative
+	}
+	if len(ret.Results) == 1 && nres > 1 {
+		// return f(...): the callee's error fact is the answer.
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			return f.callMayFail(info, call)
+		}
+		return true
+	}
+	if errIdx >= len(ret.Results) {
+		return true
+	}
+	e := ast.Unparen(ret.Results[errIdx])
+	if tv, ok := info.Types[e]; ok && tv.IsNil() {
+		return false
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		return f.callMayFail(info, call)
+	}
+	return true
+}
+
+// callMayFail resolves a call in error position: module callees use
+// their (current) fact, everything else is fallible.
+func (f *Facts) callMayFail(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return true
+	}
+	if _, known := f.decls[fn]; !known {
+		return true
+	}
+	return f.mayFail[fn]
+}
+
+// summaryOf returns the function's eagerly-computed taint summary, or
+// nil when the function's source is outside the module.
+func (f *Facts) summaryOf(fn *types.Func) *funcSummary {
+	return f.summaries[fn]
+}
+
+// domainsOf returns the function's eagerly-computed domain summary, or
+// nil when the function's source is outside the module.
+func (f *Facts) domainsOf(fn *types.Func) *domainSummary {
+	return f.domains[fn]
+}
+
+// MayFail reports whether a module function can return a non-nil error;
+// known reports whether the function is summarized at all (false for
+// stdlib and indirect callees).
+func (f *Facts) MayFail(fn *types.Func) (mayFail, known bool) {
+	if _, ok := f.decls[fn]; !ok {
+		return true, false
+	}
+	return f.mayFail[fn], true
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
 }
 
 // resultObjects returns the named result objects (nil entries for
@@ -180,4 +468,37 @@ func (p *Pass) FuncLitTaint(lit *ast.FuncLit) *FuncTaint {
 		}
 	}
 	return analyzeBody(p.Info, p.Facts, lit.Body, nil, nil, nresults)
+}
+
+// FuncDomains runs the domain engine over a declaration in analysis
+// mode: parameters are seeded from their declared domains so the
+// recorded per-expression values reflect what the signature promises.
+func (p *Pass) FuncDomains(fd *ast.FuncDecl) *FuncDomains {
+	resultObjs, nresults := resultObjects(p.Info, fd)
+	return domainFlow(p.Info, p.Facts, fd.Body, p.Facts.paramSeeds(fd, p.Info), resultObjs, nresults)
+}
+
+// FuncLitDomains is FuncDomains for a function literal (captured
+// variables are not modeled; parameters seed from their names).
+func (p *Pass) FuncLitDomains(lit *ast.FuncLit) *FuncDomains {
+	params := make(map[types.Object]DomVal)
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			obj := p.Info.Defs[name]
+			if v := seedObject(p.Facts.units, p.Facts.fset, obj); !v.isNone() {
+				params[obj] = v
+			}
+		}
+	}
+	var nresults int
+	if lit.Type.Results != nil {
+		for _, field := range lit.Type.Results.List {
+			if len(field.Names) == 0 {
+				nresults++
+			} else {
+				nresults += len(field.Names)
+			}
+		}
+	}
+	return domainFlow(p.Info, p.Facts, lit.Body, params, nil, nresults)
 }

@@ -142,6 +142,9 @@ func All() []*Analyzer {
 		MapOrder,
 		WallTime,
 		CtxPoll,
+		ProbMix,
+		Cancel,
+		ErrFlow,
 	}
 }
 

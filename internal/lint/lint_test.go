@@ -154,6 +154,9 @@ func TestAnalyzers(t *testing.T) {
 		{WallTime, "walltime"},
 		{WallTime, "walltimecli"},
 		{CtxPoll, "ctxpoll"},
+		{ProbMix, "probmix"},
+		{Cancel, "cancel"},
+		{ErrFlow, "errflow"},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -170,6 +173,18 @@ func TestMalformedDirective(t *testing.T) {
 	pkg := loadFixture(t, l, "directive")
 	if len(pkg.Malformed) != 1 {
 		t.Fatalf("got %d malformed directives, want 1", len(pkg.Malformed))
+	}
+}
+
+// TestMalformedUnitDirective checks that //mlec:unit without a known
+// domain is recorded as malformed, while a well-formed annotation in the
+// same file still seeds the domain engine.
+func TestMalformedUnitDirective(t *testing.T) {
+	l := newFixtureLoader(t)
+	runFixture(t, l, ProbMix, "unitdirective") // the valid annotation must work
+	pkg := loadFixture(t, l, "unitdirective")
+	if len(pkg.MalformedUnit) != 2 {
+		t.Fatalf("got %d malformed //mlec:unit directives, want 2", len(pkg.MalformedUnit))
 	}
 }
 
@@ -212,6 +227,9 @@ func TestSuiteIsClean(t *testing.T) {
 	for _, pkg := range pkgs {
 		for _, pos := range pkg.Malformed {
 			t.Errorf("%s: malformed //lint:allow directive", pos)
+		}
+		for _, pos := range pkg.MalformedUnit {
+			t.Errorf("%s: malformed //mlec:unit directive", pos)
 		}
 	}
 }

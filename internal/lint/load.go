@@ -33,9 +33,15 @@ type Package struct {
 	// allows maps filename → line → set of analyzer names allowlisted
 	// at that line by //lint:allow directives.
 	allows map[string]map[int]map[string]bool
+	// units maps filename → line → domain declared at that line by
+	// //mlec:unit directives (see domain.go).
+	units map[string]map[int]Domain
 	// Malformed records //lint:allow directives missing the mandatory
 	// analyzer name or reason; the driver reports them.
 	Malformed []token.Position
+	// MalformedUnit records //mlec:unit directives naming no (or an
+	// unknown) domain; the driver reports them.
+	MalformedUnit []token.Position
 }
 
 // allowed reports whether a diagnostic from the named analyzer at pos is
@@ -357,12 +363,28 @@ func parseAllowDirective(text string) (analyzer string, isDirective, ok bool) {
 	return fields[0], true, true
 }
 
-// collectAllows indexes //lint:allow directives by file and line.
+// collectAllows indexes //lint:allow and //mlec:unit directives by file
+// and line.
 func (p *Package) collectAllows() {
 	p.allows = make(map[string]map[int]map[string]bool)
+	p.units = make(map[string]map[int]Domain)
 	for _, f := range p.Files {
 		for _, group := range f.Comments {
 			for _, c := range group.List {
+				if d, isUnit, ok := parseUnitDirective(c.Text); isUnit {
+					pos := p.Fset.Position(c.Pos())
+					if !ok {
+						p.MalformedUnit = append(p.MalformedUnit, pos)
+						continue
+					}
+					byLine := p.units[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]Domain)
+						p.units[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = d
+					continue
+				}
 				analyzer, isDirective, ok := parseAllowDirective(c.Text)
 				if !isDirective {
 					continue

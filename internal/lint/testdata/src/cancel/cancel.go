@@ -1,0 +1,70 @@
+// Package cancel is the fixture for the cancel analyzer: catastrophic
+// cancellation in probability arithmetic.
+package cancel
+
+import "math"
+
+// survivalDirect computes 1 - exp(x) inline.
+func survivalDirect(logSurvive float64) float64 {
+	return 1 - math.Exp(logSurvive) // want `use -math.Expm1`
+}
+
+// survivalThroughVar shows the ViaExp provenance bit surviving an
+// assignment: the exp and the subtraction are on different lines.
+func survivalThroughVar(logSurvive float64) float64 {
+	q := math.Exp(logSurvive)
+	return 1 - q // want `use -math.Expm1`
+}
+
+// logOnePlus rounds x away before the log sees it.
+func logOnePlus(x float64) float64 {
+	return math.Log(1 + x) // want `use math.Log1p\(x\)`
+}
+
+// logOnePlusSwapped is the commuted spelling.
+func logOnePlusSwapped(x float64) float64 {
+	return math.Log(x + 1) // want `use math.Log1p\(x\)`
+}
+
+// logOneMinus needs the negated argument.
+func logOneMinus(p float64) float64 {
+	return math.Log(1 - p) // want `use math.Log1p\(-x\)`
+}
+
+// tailGap subtracts two close probabilities.
+func tailGap(pHi, pLo float64) float64 {
+	return pHi - pLo // want `subtracting two probabilities`
+}
+
+// --- negatives ---
+
+// survivalGood is the rewrite the analyzer suggests.
+func survivalGood(logSurvive float64) float64 {
+	return -math.Expm1(logSurvive)
+}
+
+// logGood keeps the digits.
+func logGood(p float64) float64 {
+	return math.Log1p(-p)
+}
+
+// intervalOK subtracts values with no probability domain.
+func intervalOK(hours, window float64) float64 {
+	return hours - window
+}
+
+// complementOK is exact for p well below 1 and is not reported: only
+// exp-provenance proves the operand can be within an ulp of 1.
+func complementOK(p float64) float64 {
+	return 1 - p
+}
+
+// shiftOK has no unit constant.
+func shiftOK(x float64) float64 {
+	return math.Log(2 + x)
+}
+
+// constOK folds at compile time.
+func constOK() float64 {
+	return 1 - 0.5
+}

@@ -1,0 +1,79 @@
+// Package errflow is the fixture for the errflow analyzer: discarded
+// errors from module functions the summaries prove can actually fail.
+package errflow
+
+import "errors"
+
+// step fails on odd inputs.
+func step(n int) (int, error) {
+	if n%2 == 1 {
+		return 0, errors.New("odd")
+	}
+	return n / 2, nil
+}
+
+// validate fails on negative inputs.
+func validate(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+
+// wrap propagates step's error through a variable: conservatively
+// fallible.
+func wrap(n int) error {
+	_, err := step(n)
+	return err
+}
+
+// relay tail-calls validate: fallible through the summary chain.
+func relay(n int) error {
+	return validate(n)
+}
+
+// alwaysNil can never fail.
+func alwaysNil() error {
+	return nil
+}
+
+// nilRelay tail-calls an infallible function: still infallible.
+func nilRelay() error {
+	return alwaysNil()
+}
+
+// evenOK and oddOK are mutually recursive and return only nil: the SCC
+// fixed point proves the cycle infallible.
+func evenOK(n int) error {
+	if n == 0 {
+		return nil
+	}
+	return oddOK(n - 1)
+}
+
+func oddOK(n int) error {
+	if n == 0 {
+		return nil
+	}
+	return evenOK(n - 1)
+}
+
+func positives(n int) int {
+	v, _ := step(n) // want `blank identifier discards the error of step`
+	step(n)         // want `statement discards the error of step`
+	go relay(n)     // want `goroutine discards the error of relay`
+	defer wrap(n)   // want `defer discards the error of wrap`
+	return v
+}
+
+func negatives(n int) int {
+	v, err := step(n)
+	if err != nil {
+		return 0
+	}
+	alwaysNil()
+	nilRelay()
+	evenOK(n)
+	_ = oddOK(n)
+	return v
+}

@@ -1,0 +1,100 @@
+// Package probmix is the fixture for the probmix analyzer: every line
+// with a want comment must be reported, every line without one is a
+// negative test.
+package probmix
+
+import "math"
+
+// mixDirect adds a log-domain value to a linear probability: the
+// classic probflow bug, caught by the math.Log source.
+func mixDirect(pdl float64) float64 {
+	logP := math.Log(pdl)
+	return logP + pdl // want `mixes logprob and prob`
+}
+
+// mixThroughHelper shows the interprocedural summary at work: logOf's
+// result is log-domain even though the mix happens in the caller.
+func logOf(p float64) float64 {
+	return math.Log(p)
+}
+
+func mixThroughHelper(pdl float64) float64 {
+	v := logOf(pdl)
+	return v + pdl // want `mixes logprob and prob`
+}
+
+// compareRateProb compares values from different scales.
+func compareRateProb(ratePerHour, pdl float64) bool {
+	return ratePerHour > pdl // want `compares rate and prob`
+}
+
+// mixCountProb adds a count to a probability.
+func mixCountProb(pdl float64, disks int) float64 {
+	return float64(disks) + pdl // want `mixes count and prob`
+}
+
+// floorLog is a log-domain floor; the annotation overrides the name
+// heuristic (which would see nothing in "floorValue").
+//
+//mlec:unit logprob
+var floorValue = -700.0
+
+func mixAnnotated(p float64) float64 {
+	return floorValue + p // want `mixes logprob and prob`
+}
+
+// result exercises declared-field checking.
+type result struct {
+	AnnualPDL float64
+	//mlec:unit rate
+	Arrival float64
+}
+
+func fillBad(pdl float64) result {
+	r := result{AnnualPDL: pdl}
+	r.Arrival = 0
+	return result{
+		AnnualPDL: pdl,
+		Arrival:   pdl, // want `field Arrival \(declared rate\) initialized with a prob value`
+	}
+}
+
+// assignMismatch stores a probability into a declared rate variable.
+func assignMismatch(pdl float64) float64 {
+	var lossRate float64
+	lossRate = pdl // want `assigns a prob value to lossRate \(declared rate\)`
+	return lossRate
+}
+
+// returnMismatch returns a linear probability from a function whose
+// name declares log domain.
+func logTailBound(pdl float64) float64 {
+	return pdl * pdl // want `logTailBound \(declared logprob\) returns a prob value`
+}
+
+// --- negatives ---
+
+// composeOK multiplies probabilities and scales rates: the domain
+// algebra allows every line.
+func composeOK(pdl, lambdaPerHour float64, pools int) float64 {
+	loss := pdl * pdl                      // prob · prob
+	rate := lambdaPerHour * float64(pools) // rate · count
+	thinned := rate * loss                 // rate · prob
+	return thinned * 8760                  // constants carry no domain
+}
+
+// productFromLogs stays in log domain until the final exp.
+func productFromLogs(lp, lq float64) float64 {
+	joint := lp + lq // log + log is a product
+	return math.Exp(joint)
+}
+
+// sameDomainOK adds and compares within one domain.
+func sameDomainOK(pHi, pLo float64) bool {
+	return pHi+pLo > pLo
+}
+
+// unknownOK mixes unclassified values freely.
+func unknownOK(hours, window float64) float64 {
+	return hours + window
+}

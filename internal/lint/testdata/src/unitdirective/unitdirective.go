@@ -1,0 +1,17 @@
+// Fixture for //mlec:unit directive handling: an annotation naming no
+// (or an unknown) domain must be recorded as malformed, and a valid one
+// must seed the domain engine so the probmix finding below fires.
+package unitdirective
+
+//mlec:unit
+var orphan = 0.25
+
+//mlec:unit furlongs
+var bogus = 1.5
+
+//mlec:unit rate
+var arrivals = 3.5e-6
+
+func mixes(pdl float64) float64 {
+	return arrivals + pdl // want `mixes rate and prob`
+}

@@ -1,0 +1,151 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+// generatorCases covers the chain shapes the repository actually uses:
+// the RAID5 closed-form chain, a deeper state-dependent-repair chain,
+// and a durability-regime chain where μ ≫ λ by eight orders of
+// magnitude (the catastrophic-cancellation regime MTTDLHours guards
+// against).
+func generatorCases() []Chain {
+	return []Chain{
+		{N: 8, P: 1, LambdaPerHour: 1e-6, RepairRate: func(int) float64 { return 1e-2 }},
+		{N: 6, P: 2, LambdaPerHour: 0.01, RepairRate: func(f int) float64 { return 0.05 * float64(f) }},
+		{N: 24, P: 3, LambdaPerHour: 2.3e-6, RepairRate: func(f int) float64 { return 0.25 * float64(f) }},
+		{N: 100, P: 4, LambdaPerHour: 1e-9, RepairRate: func(int) float64 { return 10 }},
+	}
+}
+
+// ulpAt returns the spacing of float64 values at magnitude m.
+func ulpAt(m float64) float64 {
+	return math.Nextafter(math.Abs(m), math.Inf(1)) - math.Abs(m)
+}
+
+// TestGeneratorRowsSumToZero checks conservation: every generator row
+// must sum to zero within an ulp-scaled tolerance (the diagonal is the
+// one rounded value; summing ≤3 terms adds at most a few ulp of the
+// largest entry).
+func TestGeneratorRowsSumToZero(t *testing.T) {
+	for ci, c := range generatorCases() {
+		q, err := c.Generator()
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if len(q) != c.P+2 {
+			t.Fatalf("case %d: generator is %d×, want %d×", ci, len(q), c.P+2)
+		}
+		for f, row := range q {
+			if len(row) != c.P+2 {
+				t.Fatalf("case %d row %d: %d columns, want %d", ci, f, len(row), c.P+2)
+			}
+			sum, largest := 0.0, 0.0
+			for _, v := range row {
+				sum += v
+				if math.Abs(v) > largest {
+					largest = math.Abs(v)
+				}
+			}
+			if tol := 4 * ulpAt(largest); math.Abs(sum) > tol {
+				t.Errorf("case %d row %d sums to %g, want 0 within %g", ci, f, sum, tol)
+			}
+		}
+	}
+}
+
+// TestGeneratorStructure pins the birth–death shape: super-diagonal
+// failure rates, sub-diagonal repair rates, an all-zero absorbing row,
+// and nothing outside the three bands.
+func TestGeneratorStructure(t *testing.T) {
+	c := generatorCases()[1]
+	q, err := c.Generator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f <= c.P; f++ {
+		if want := float64(c.N-f) * c.LambdaPerHour; q[f][f+1] != want {
+			t.Errorf("Q[%d][%d] = %g, want β=%g", f, f+1, q[f][f+1], want)
+		}
+		if f > 0 {
+			if want := c.RepairRate(f); q[f][f-1] != want {
+				t.Errorf("Q[%d][%d] = %g, want μ=%g", f, f-1, q[f][f-1], want)
+			}
+		}
+		for j := range q[f] {
+			if j < f-1 || j > f+1 {
+				if q[f][j] != 0 {
+					t.Errorf("Q[%d][%d] = %g outside the tridiagonal band", f, j, q[f][j])
+				}
+			}
+		}
+	}
+	for j, v := range q[c.P+1] {
+		if v != 0 {
+			t.Errorf("absorbing row entry Q[%d][%d] = %g, want 0", c.P+1, j, v)
+		}
+	}
+}
+
+// TestTransientProbsInUnitInterval checks that every transient state
+// probability stays in [0,1] and the distribution keeps (almost) unit
+// mass across horizons spanning the single-step and the long-horizon
+// multi-step uniformization paths.
+func TestTransientProbsInUnitInterval(t *testing.T) {
+	horizons := []float64{0, 0.5, 24, 8760, 2e5}
+	for ci, c := range generatorCases() {
+		for _, h := range horizons {
+			pi, err := c.TransientProbs(h)
+			if err != nil {
+				t.Fatalf("case %d t=%g: %v", ci, h, err)
+			}
+			mass := 0.0
+			for f, p := range pi {
+				if p < 0 || p > 1 {
+					t.Errorf("case %d t=%g: π[%d] = %g outside [0,1]", ci, h, f, p)
+				}
+				mass += p
+			}
+			if math.Abs(mass-1) > 1e-12 {
+				t.Errorf("case %d t=%g: total mass %g, want 1", ci, h, mass)
+			}
+		}
+	}
+}
+
+// TestTransientAgreesWithMTTDL cross-checks the two solvers: for an
+// exponentially-distributed absorption time the transient absorption
+// probability at one MTTDL must be ≈ 1−1/e. The chain mixes far faster
+// than it absorbs, so the exponential approximation is tight.
+func TestTransientAgreesWithMTTDL(t *testing.T) {
+	c := generatorCases()[0]
+	mttdl, err := c.MTTDLHours()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.TransientProbs(mttdl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := -math.Expm1(-1); !approx(pi[c.P+1], want, 0.02) {
+		t.Fatalf("absorption probability at one MTTDL = %g, want ≈ %g", pi[c.P+1], want)
+	}
+}
+
+// TestTransientMonotoneAbsorption: absorption probability never
+// decreases with the horizon.
+func TestTransientMonotoneAbsorption(t *testing.T) {
+	c := generatorCases()[1]
+	prev := -1.0
+	for _, h := range []float64{0, 10, 100, 1000, 10000} {
+		pi, err := c.TransientProbs(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pi[c.P+1] < prev {
+			t.Fatalf("absorption probability fell from %g to %g at t=%g", prev, pi[c.P+1], h)
+		}
+		prev = pi[c.P+1]
+	}
+}

@@ -13,6 +13,7 @@ package markov
 
 import (
 	"fmt"
+	"math"
 
 	"mlec/internal/bwmodel"
 	"mlec/internal/mathx"
@@ -79,6 +80,134 @@ func (c Chain) MTTDLHours() (float64, error) {
 		t = a[f] + b[f]*t
 	}
 	return t, nil
+}
+
+// Generator returns the chain's (P+2)×(P+2) generator matrix Q over
+// states 0..P+1: Q[f][f+1] is the failure rate β_f = (N−f)·λ,
+// Q[f][f−1] the repair rate μ_f, diagonals the negated row sums, and
+// the absorbing row P+1 is all zeros. Every row sums to zero exactly up
+// to the one rounding in the diagonal negation, which the tests pin to
+// an ulp-scaled tolerance.
+func (c Chain) Generator() ([][]float64, error) {
+	if c.N <= 0 || c.P < 0 || c.P >= c.N {
+		return nil, fmt.Errorf("markov: bad chain N=%d P=%d", c.N, c.P)
+	}
+	if c.LambdaPerHour <= 0 {
+		return nil, fmt.Errorf("markov: lambda = %g", c.LambdaPerHour)
+	}
+	n := c.P + 2
+	q := make([][]float64, n)
+	for f := range q {
+		q[f] = make([]float64, n)
+	}
+	for f := 0; f <= c.P; f++ {
+		beta := float64(c.N-f) * c.LambdaPerHour
+		diag := beta
+		q[f][f+1] = beta
+		if f > 0 {
+			mu := c.RepairRate(f)
+			if mu < 0 {
+				return nil, fmt.Errorf("markov: negative repair rate at state %d", f)
+			}
+			q[f][f-1] = mu
+			diag += mu
+		}
+		q[f][f] = -diag
+	}
+	return q, nil
+}
+
+// TransientProbs returns the state-occupancy distribution π(t) after
+// tHours, starting from the pristine state, by uniformization: with
+// qmax ≥ max_f |Q[f][f]|, the DTMC P = I + Q/qmax is stochastic and
+// π(t) = Σ_k Pois(qmax·t; k) · π₀·P^k. Long horizons are split into
+// steps with qmax·τ ≤ 32 so the leading Poisson weight e^(−qmax·τ)
+// never underflows; within a step the series is truncated once the
+// accumulated Poisson mass is within an ulp of 1.
+func (c Chain) TransientProbs(tHours float64) ([]float64, error) {
+	q, err := c.Generator()
+	if err != nil {
+		return nil, err
+	}
+	if tHours < 0 {
+		return nil, fmt.Errorf("markov: negative horizon %g", tHours)
+	}
+	n := len(q)
+	pi := make([]float64, n)
+	pi[0] = 1
+	qmax := 0.0
+	for f := range q {
+		if -q[f][f] > qmax {
+			qmax = -q[f][f]
+		}
+	}
+	if qmax == 0 || tHours == 0 {
+		return pi, nil
+	}
+	// The uniformized DTMC: p[i][j] = I + Q/qmax, rows sum to 1.
+	p := make([][]float64, n)
+	for i := range p {
+		p[i] = make([]float64, n)
+		for j := range p[i] {
+			p[i][j] = q[i][j] / qmax
+		}
+		p[i][i] += 1
+	}
+	steps := int(math.Ceil(qmax * tHours / 32))
+	tau := tHours / float64(steps)
+	for s := 0; s < steps; s++ {
+		pi = uniformStep(pi, p, qmax*tau)
+	}
+	return pi, nil
+}
+
+// uniformStep advances the distribution by one uniformized interval of
+// dimensionless length a = qmax·τ ≤ 32.
+func uniformStep(pi []float64, p [][]float64, a float64) []float64 {
+	n := len(pi)
+	out := make([]float64, n)
+	v := make([]float64, n)
+	next := make([]float64, n)
+	copy(v, pi)
+	w := math.Exp(-a)
+	cum := 0.0
+	// Poisson tail bound: a + 40·sqrt(a) terms leave mass ≪ 1 ulp.
+	kcap := int(a+40*math.Sqrt(a+1)) + 60
+	for k := 0; k <= kcap; k++ {
+		for i := range out {
+			out[i] += w * v[i]
+		}
+		cum += w
+		if cum >= 1-1e-16 {
+			break
+		}
+		// v ← v·P (row vector times the stochastic matrix).
+		for j := range next {
+			next[j] = 0
+		}
+		for i := range v {
+			if v[i] == 0 {
+				continue
+			}
+			for j := range next {
+				next[j] += v[i] * p[i][j]
+			}
+		}
+		v, next = next, v
+		w *= a / float64(k+1)
+	}
+	// Renormalize to unit mass: both the series truncation and the
+	// rounding of each v·P under-weight the distribution by ~1 ulp, and
+	// without this the deficit compounds across the thousands of steps
+	// a long horizon takes.
+	mass := 0.0
+	for _, p := range out {
+		mass += p
+	}
+	for i := range out {
+		out[i] /= mass
+	}
+	return out
 }
 
 // LossRatePerHour returns the long-run data-loss event rate ≈ 1/MTTDL.

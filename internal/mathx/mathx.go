@@ -43,6 +43,8 @@ func LogChoose(n, k int) float64 {
 
 // Choose returns C(n, k) as a float64 (may overflow to +Inf for huge
 // arguments; use LogChoose in tail computations).
+//
+//mlec:unit count
 func Choose(n, k int) float64 {
 	if k < 0 || k > n || n < 0 {
 		return 0
