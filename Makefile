@@ -3,12 +3,12 @@
 GO ?= go
 
 # Packages with worker pools / goroutine fan-out: the race-detector set.
-RACE_PKGS = ./internal/burst ./internal/poolsim ./internal/rs ./internal/syssim ./internal/cluster ./internal/runctl
+RACE_PKGS = ./internal/burst ./internal/poolsim ./internal/rs ./internal/syssim ./internal/cluster ./internal/runctl ./internal/obs
 
-.PHONY: check build vet lint test race stress bench fuzz
+.PHONY: check build vet lint test race stress bench fuzz obs-smoke
 
 ## check: build + vet + mlecvet + tests + race tests — the CI gate.
-check: build vet lint test race stress
+check: build vet lint test race stress obs-smoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,13 @@ race:
 stress:
 	$(GO) test -race -count=3 -run 'Cancel|Resume|Partial|Context|Pool' \
 		./internal/runctl ./internal/poolsim ./internal/burst ./internal/syssim
+
+## obs-smoke: prove observability is inert. Builds mlecdur/mlecburst,
+## byte-compares fixed-seed stdout with the full -obs/-progress/
+## -trace-out stack on vs off, validates the trace file, and scrapes a
+## live endpoint through the strict Prometheus parser.
+obs-smoke:
+	$(GO) test -count=1 -run 'TestCLIInertness|TestEndpointServes' ./internal/obs
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"mlec"
+	"mlec/internal/obs"
 	"mlec/internal/runctl"
 )
 
@@ -43,6 +44,7 @@ func main() {
 	pl := flag.Int("pl", 3, "local parity chunks")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none); partial results on expiry")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file for the Monte-Carlo campaign")
+	obsFlags := obs.BindCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *trials <= 0 {
@@ -74,6 +76,12 @@ func main() {
 		fatalUsage("unknown scheme %q", *schemeName)
 	}
 
+	stopObs, err := obsFlags.Activate(os.Stderr)
+	if err != nil {
+		fatalUsage("%v", err)
+	}
+	defer stopObs()
+
 	ctx, stop := runctl.CLIContext(*timeout)
 	defer stop()
 
@@ -81,6 +89,7 @@ func main() {
 	r, err := mlec.BurstPDLContext(ctx, mlec.DefaultTopology(), params, scheme, *x, *y, *trials, *seed, *checkpoint)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mlecburst: %v\n", err)
+		stopObs() // os.Exit skips defers; flush the trace first
 		os.Exit(1)
 	}
 	if r.Partial && math.IsNaN(r.PDL) {
@@ -88,6 +97,7 @@ func main() {
 		if *checkpoint == "" {
 			fmt.Fprintln(os.Stderr, "Pass -checkpoint to make interrupted campaigns resumable.")
 		}
+		stopObs()
 		os.Exit(1)
 	}
 	fmt.Printf("%s %v: PDL(y=%d failures across x=%d racks) = %.4g  [95%% CI %.3g, %.3g]  (%d trials)\n",

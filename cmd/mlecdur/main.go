@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"mlec"
+	"mlec/internal/obs"
 	"mlec/internal/runctl"
 )
 
@@ -44,6 +45,7 @@ func main() {
 	pl := flag.Int("pl", 3, "local parity chunks")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none); partial results on expiry")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file for the splitting campaign (with -sim)")
+	obsFlags := obs.BindCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *trajectories <= 0 {
@@ -70,6 +72,12 @@ func main() {
 		fatalUsage("unknown scheme %q", *schemeName)
 	}
 
+	stopObs, err := obsFlags.Activate(os.Stderr)
+	if err != nil {
+		fatalUsage("%v", err)
+	}
+	defer stopObs()
+
 	ctx, stop := runctl.CLIContext(*timeout)
 	defer stop()
 
@@ -80,6 +88,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mlecdur: %v\n", err)
+		stopObs() // os.Exit skips defers; flush the trace first
 		os.Exit(1)
 	}
 	stage := "Markov (R_ALL view)"

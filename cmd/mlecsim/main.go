@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"mlec"
+	"mlec/internal/obs"
 	"mlec/internal/runctl"
 )
 
@@ -41,6 +42,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of ASCII heatmaps (fig5/fig13/fig16)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none); partial renders on expiry")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory for resumable Monte-Carlo experiments")
+	obsFlags := obs.BindCLIFlags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
 
@@ -72,6 +74,13 @@ func main() {
 		}
 	}
 
+	stopObs, err := obsFlags.Activate(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlecsim: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopObs()
+
 	ctx, stop := runctl.CLIContext(*timeout)
 	defer stop()
 
@@ -82,6 +91,7 @@ func main() {
 		start := time.Now()
 		if err := mlec.RunExperimentContext(ctx, id, opts, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "mlecsim: %s: %v\n", id, err)
+			stopObs() // os.Exit skips defers; flush the trace first
 			os.Exit(1)
 		}
 		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
@@ -94,6 +104,7 @@ func main() {
 			if *checkpoint != "" {
 				fmt.Fprintf(os.Stderr, "Re-run the same command to resume from %s.\n", *checkpoint)
 			}
+			stopObs()
 			os.Exit(1)
 		}
 	}

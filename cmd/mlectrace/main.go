@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"mlec/internal/failure"
+	"mlec/internal/obs"
 	"mlec/internal/poolsim"
 	"mlec/internal/runctl"
 )
@@ -37,6 +38,8 @@ func main() {
 		err = cmdStats(args)
 	case "replay":
 		err = cmdReplay(args)
+	case "events":
+		err = cmdEvents(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -53,7 +56,8 @@ func usage() {
 usage:
   mlectrace gen -disks N -years Y [-afr F] [-weibull-shape K] [-seed S]   write a trace to stdout
   mlectrace stats                                                          summarize a trace from stdin
-  mlectrace replay -disks N [-kl K -pl P] [-dp] [-seed S]                  replay a trace through a pool simulation`)
+  mlectrace replay -disks N [-kl K -pl P] [-dp] [-seed S]                  replay a trace through a pool simulation
+  mlectrace events [-kind K]                                               summarize a -trace-out JSONL event trace from stdin`)
 }
 
 func cmdGen(args []string) error {
@@ -133,6 +137,55 @@ func cmdStats(args []string) error {
 	if span > 0 {
 		fmt.Printf("implied AFR:       %.2f%% (assuming %d disks)\n",
 			100*float64(len(tr.Events))/(float64(maxDisk+1)*span), maxDisk+1)
+	}
+	return nil
+}
+
+// cmdEvents summarizes a simulated-time observability trace (the JSONL
+// file a -trace-out run writes): per-kind event counts, the simulated
+// span covered, and repair traffic broken down by method.
+func cmdEvents(args []string) error {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	kind := fs.String("kind", "", "print raw events of this kind instead of the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	evs, err := obs.ParseTraceEvents(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if *kind != "" {
+		for _, ev := range evs {
+			if ev.Kind != *kind {
+				continue
+			}
+			fmt.Printf("seq=%d t=%.3fh pool=%d disk=%d level=%d method=%s bytes=%g %s\n",
+				ev.Seq, ev.T, ev.Pool, ev.Disk, ev.Level, ev.Method, ev.Bytes, ev.Note)
+		}
+		return nil
+	}
+	counts := make(map[string]int)
+	repairBytes := make(map[string]float64)
+	span := 0.0
+	for _, ev := range evs {
+		counts[ev.Kind]++
+		if ev.Kind == obs.EvRepairEnd {
+			repairBytes[ev.Method] += ev.Bytes
+		}
+		if ev.T > span {
+			span = ev.T
+		}
+	}
+	fmt.Printf("events:         %d\n", len(evs))
+	fmt.Printf("simulated span: %.2f years\n", span/failure.HoursPerYear)
+	for _, kv := range obs.SortedSnapshot(counts) {
+		fmt.Printf("  %-16s %d\n", kv.Key, kv.Value)
+	}
+	if len(repairBytes) > 0 {
+		fmt.Println("repair traffic by method:")
+		for _, kv := range obs.SortedSnapshot(repairBytes) {
+			fmt.Printf("  %-8s %.3g bytes\n", kv.Key, kv.Value)
+		}
 	}
 	return nil
 }

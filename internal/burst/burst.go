@@ -25,6 +25,7 @@ import (
 
 	"mlec/internal/mathx"
 	"mlec/internal/mathx/rngsplit"
+	"mlec/internal/obs"
 	"mlec/internal/runctl"
 )
 
@@ -247,6 +248,22 @@ func PDLContext(ctx context.Context, ev Evaluator, x, y, trials int, seed int64,
 		}
 	}
 
+	// Observability: per-cell progress plus registry counters. Updates
+	// are write-only tallies of work the estimator already decided to
+	// do, so they cannot influence the estimate.
+	task := obs.Progress.StartTask(fmt.Sprintf("burst.pdl x=%d y=%d", x, y), int64(trials))
+	defer task.Finish()
+	restored := 0
+	for b := 0; b < nb; b++ {
+		if ck.Done[b] {
+			restored += ck.Ns[b]
+		}
+	}
+	task.SetDone(int64(restored))
+	trialCount := obs.Default.Counter("burst_pdl_trials_total")
+	batchCount := obs.Default.Counter("burst_pdl_batches_total")
+	ciwGauge := obs.Default.FloatGauge("burst_pdl_ci_width")
+
 	cellSeed := seed ^ int64(x)<<20 ^ int64(y)
 	for start := 0; start < nb; {
 		var round []int
@@ -289,6 +306,9 @@ func PDLContext(ctx context.Context, ev Evaluator, x, y, trials int, seed int64,
 				// these writes before the reduction below.
 				ck.Sums[b], ck.Sum2s[b], ck.Ns[b] = sum, sum2, hi-lo
 				ck.Done[b] = true
+				trialCount.Add(int64(hi - lo))
+				batchCount.Inc()
+				task.Add(int64(hi - lo))
 				return nil
 			})
 		}
@@ -335,6 +355,8 @@ func PDLContext(ctx context.Context, ev Evaluator, x, y, trials int, seed int64,
 	if hi > 1 {
 		hi = 1
 	}
+	ciwGauge.Set(hi - lo)
+	task.SetCIWidth(hi - lo)
 	return Result{Racks: x, Failures: y, PDL: mean, Lo: lo, Hi: hi, Trials: done, Partial: completed < nb}, nil
 }
 
@@ -392,6 +414,19 @@ func HeatmapContext(ctx context.Context, ev Evaluator, xs, ys []int, trials int,
 		}
 	}
 
+	// Observability: grid progress at cell granularity (the DP cell
+	// throughput signal), counting restored cells as already done.
+	gridTask := obs.Progress.StartTask("burst.grid", int64(len(xs)*len(ys)))
+	defer gridTask.Finish()
+	cellCount := obs.Default.Counter("burst_grid_cells_total")
+	for iy := range ys {
+		for ix := range xs {
+			if ck.Done[iy][ix] {
+				gridTask.Add(1)
+			}
+		}
+	}
+
 	for iy, y := range ys {
 		for ix, x := range xs {
 			if ck.Done[iy][ix] {
@@ -418,6 +453,8 @@ func HeatmapContext(ctx context.Context, ev Evaluator, xs, ys []int, trials int,
 			g.Cells[iy][ix] = r
 			ck.Done[iy][ix] = true
 			ck.Cells[iy][ix] = r
+			cellCount.Inc()
+			gridTask.Add(1)
 			if checkpointPath != "" {
 				if err := runctl.SaveCheckpoint(checkpointPath, gridCheckpointKind, fp, ck); err != nil {
 					return nil, err

@@ -154,6 +154,7 @@ func TestAnalyzers(t *testing.T) {
 		{WallTime, "walltime"},
 		{WallTime, "walltimecli"},
 		{CtxPoll, "ctxpoll"},
+		{CtxPoll, "obspoll"},
 		{ProbMix, "probmix"},
 		{Cancel, "cancel"},
 		{ErrFlow, "errflow"},

@@ -1,0 +1,17 @@
+// This fixture stands in for mlec/internal/obs: the one module package
+// walltime sanctions as a wall-clock sink. The analyzer keys on the
+// callee's package *name*, which is exactly what lets this fixture
+// (directory obsfake, package obs) exercise the exemption.
+package obs
+
+import "time"
+
+// Histogram mimics the write-only metric cell of the real obs package:
+// simulation code observes into it and never reads it back.
+type Histogram struct{ sum float64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.sum += v }
+
+// RecordWall mimics a package-level sink function.
+func RecordWall(d time.Duration) { _ = d }

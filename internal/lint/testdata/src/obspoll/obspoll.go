@@ -1,0 +1,31 @@
+// This fixture exercises the ctxpoll obs exemption. It declares
+// package obs — the analyzer skips packages by that name because obs
+// loops are observers running on wall-clock schedules with their own
+// quit channels, not simulation work the engines' contexts govern.
+// Both functions would be reported in any other package; here neither
+// line carries a want comment because no diagnostic may fire.
+package obs
+
+import (
+	"context"
+	"math/rand"
+)
+
+// RenderLoop accepts a context it never consults around a rand-drawing
+// loop. Outside obs this is the canonical ctxpoll finding.
+func RenderLoop(ctx context.Context, trials int, rng *rand.Rand) float64 {
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += rng.Float64()
+	}
+	return sum
+}
+
+// Sample ranges with an ignored context; same shape, range form.
+func Sample(ctx context.Context, values []float64, rng *rand.Rand) float64 {
+	sum := 0.0
+	for range values {
+		sum += rng.Float64()
+	}
+	return sum
+}

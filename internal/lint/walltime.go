@@ -107,9 +107,20 @@ func checkWallTimeAssign(pass *Pass, ft *FuncTaint, a *ast.AssignStmt) {
 // this module: once it crosses a call boundary inside the simulation
 // packages it is treated as entering state. Standard-library callees
 // (fmt progress lines, context plumbing, time arithmetic) stay legal.
+//
+// The obs package is the one sanctioned in-module sink. Its metrics and
+// progress cells are write-only from the engines' point of view — no
+// simulation code ever reads them back — so a wall-clock duration
+// flowing into an obs histogram can influence operator dashboards but
+// never a simulated result. Exempting the package here keeps the
+// invariant honest without scattering allow directives over every
+// instrumentation site.
 func checkWallTimeCall(pass *Pass, ft *FuncTaint, call *ast.CallExpr) {
 	name := calleeName(pass.Info, call)
 	if !strings.HasPrefix(name, "mlec/") {
+		return
+	}
+	if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == "obs" {
 		return
 	}
 	for _, arg := range call.Args {

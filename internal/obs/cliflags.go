@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// CLIFlags carries the three observability flags every Monte-Carlo CLI
+// exposes. Bind them before flag.Parse, then Activate after argument
+// validation; the returned stop function flushes and shuts everything
+// down and must run before the process exits (including error paths
+// that call os.Exit, which skip defers).
+type CLIFlags struct {
+	Endpoint string        // -obs: HTTP listen address, "" = off
+	Every    time.Duration // -progress: render interval, 0 = off
+	TraceOut string        // -trace-out: JSONL trace path, "" = off
+}
+
+// BindCLIFlags registers -obs, -progress and -trace-out on fs.
+func BindCLIFlags(fs *flag.FlagSet) *CLIFlags {
+	f := &CLIFlags{}
+	fs.StringVar(&f.Endpoint, "obs", "",
+		"serve observability HTTP endpoint on this address (/metrics, /metrics.json, /debug/pprof)")
+	fs.DurationVar(&f.Every, "progress", 0,
+		"render a progress report to stderr at this interval (0 disables)")
+	fs.StringVar(&f.TraceOut, "trace-out", "",
+		"write a simulated-time JSONL event trace to this file")
+	return f
+}
+
+// Activate starts whatever the parsed flags ask for: the HTTP endpoint
+// (its resolved address is announced on errw), the trace recorder, and
+// the progress reporter. The returned stop function is idempotent and
+// reports the first trace-write error to errw. Observability failing
+// to start is a usage error, not a reason to corrupt a long run, so
+// Activate fails fast before any engine work begins.
+func (f *CLIFlags) Activate(errw io.Writer) (func(), error) {
+	var (
+		srv       *Server
+		traceFile *os.File
+		quit      chan struct{}
+		ticked    chan struct{}
+	)
+	stop := func() {
+		if quit != nil {
+			close(quit)
+			<-ticked
+			quit = nil
+		}
+		if srv != nil {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintf(errw, "obs: endpoint: %v\n", err)
+			}
+			srv = nil
+		}
+		if traceFile != nil {
+			if err := Trace.Stop(); err != nil {
+				fmt.Fprintf(errw, "obs: trace: %v\n", err)
+			}
+			if err := traceFile.Close(); err != nil {
+				fmt.Fprintf(errw, "obs: trace: %v\n", err)
+			}
+			traceFile = nil
+		}
+	}
+
+	if f.TraceOut != "" {
+		var err error
+		traceFile, err = os.Create(f.TraceOut)
+		if err != nil {
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := Trace.Start(traceFile); err != nil {
+			_ = traceFile.Close()
+			return nil, err
+		}
+	}
+	if f.Endpoint != "" {
+		var err error
+		srv, err = Serve(f.Endpoint, Default)
+		if err != nil {
+			stop()
+			return nil, fmt.Errorf("obs: endpoint: %w", err)
+		}
+		fmt.Fprintf(errw, "obs: serving metrics on http://%s/metrics\n", srv.Addr())
+	}
+	if f.Every > 0 {
+		quit = make(chan struct{})
+		ticked = make(chan struct{})
+		interval := f.Every
+		//lint:allow barego the progress reporter is a pure observer on a wall-clock ticker; it cannot ride a runctl pool because runctl imports obs
+		go func() {
+			defer close(ticked)
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-quit:
+					return
+				case <-tick.C:
+					Progress.Render(errw, Default)
+				}
+			}
+		}()
+	}
+	return stop, nil
+}

@@ -1,0 +1,236 @@
+// End-to-end proof of the package's load-bearing claim: observability
+// is inert. A fixed-seed engine run must produce byte-identical stdout
+// with every obs feature enabled or disabled, and the HTTP endpoint
+// must serve a page the strict Prometheus parser accepts. make
+// obs-smoke runs exactly these tests.
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mlec/internal/obs"
+)
+
+// repoRoot locates the module root from this file's position.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// buildBinaries compiles mlecdur and mlecburst once per test process.
+func buildBinaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		root := repoRoot(t)
+		buildDir, buildErr = os.MkdirTemp("", "obs-e2e-*")
+		if buildErr != nil {
+			return
+		}
+		for _, name := range []string{"mlecdur", "mlecburst"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, name), "./cmd/"+name)
+			cmd.Dir = root
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = fmt.Errorf("building %s: %v\n%s", name, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildDir
+}
+
+func runBinary(t *testing.T, bin string, args ...string) (stdout, stderr []byte) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr:\n%s", filepath.Base(bin), args, err, errb.String())
+	}
+	return out.Bytes(), errb.Bytes()
+}
+
+// TestCLIInertness is the byte-identity check ISSUE 5 demands: the
+// same seed with and without the full observability stack (-obs,
+// -progress, -trace-out) must print the same bytes to stdout.
+func TestCLIInertness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bins := buildBinaries(t)
+	cases := []struct {
+		bin  string
+		args []string
+	}{
+		{"mlecdur", []string{"-scheme", "D/D", "-sim", "-trajectories", "1000", "-seed", "7"}},
+		{"mlecburst", []string{"-scheme", "D/D", "-x", "3", "-y", "40", "-trials", "3000", "-seed", "5"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.bin, func(t *testing.T) {
+			bin := filepath.Join(bins, tc.bin)
+			plain, _ := runBinary(t, bin, tc.args...)
+			tracePath := filepath.Join(t.TempDir(), "run.trace")
+			instrumented := append(append([]string(nil), tc.args...),
+				"-obs", "127.0.0.1:0", "-trace-out", tracePath, "-progress", "25ms")
+			observed, stderrOut := runBinary(t, bin, instrumented...)
+			if !bytes.Equal(plain, observed) {
+				t.Fatalf("observability changed a fixed-seed run's stdout.\nplain:\n%s\nobserved:\n%s",
+					plain, observed)
+			}
+			if !strings.Contains(string(stderrOut), "obs: serving metrics on http://") {
+				t.Errorf("endpoint announcement missing from stderr:\n%s", stderrOut)
+			}
+			f, err := os.Open(tracePath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			evs, err := obs.ParseTraceEvents(f)
+			if err != nil {
+				t.Fatalf("trace file does not parse: %v", err)
+			}
+			if tc.bin == "mlecdur" {
+				promotions := 0
+				for _, ev := range evs {
+					if ev.Kind == obs.EvLevelPromotion {
+						promotions++
+					}
+				}
+				if promotions == 0 {
+					t.Errorf("splitting run emitted no level_promotion events (%d events total)", len(evs))
+				}
+			}
+		})
+	}
+}
+
+// TestEndpointServes starts a long run with -obs, scrapes /metrics and
+// /metrics.json while it works, and validates both payloads.
+func TestEndpointServes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bins := buildBinaries(t)
+	cmd := exec.Command(filepath.Join(bins, "mlecburst"),
+		"-x", "3", "-y", "40", "-trials", "50000000", "-seed", "1", "-obs", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "obs: serving metrics on http://"); ok {
+				addrCh <- strings.TrimSuffix(rest, "/metrics")
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	var addr string
+	select {
+	case a, ok := <-addrCh:
+		if !ok {
+			t.Fatal("endpoint announcement never appeared on stderr")
+		}
+		addr = a
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the endpoint announcement")
+	}
+
+	// The engine registers its metrics as it starts; poll until the
+	// burst counter shows up (every page served meanwhile must parse).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		page := httpGet(t, "http://"+addr+"/metrics")
+		prom, err := obs.ParsePrometheus(bytes.NewReader(page))
+		if err != nil {
+			t.Fatalf("/metrics does not parse: %v\npage:\n%s", err, page)
+		}
+		if _, ok := prom.Types["burst_pdl_trials_total"]; ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/metrics never showed burst_pdl_trials_total; types: %v", prom.Types)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	jsonPage := httpGet(t, "http://"+addr+"/metrics.json")
+	var points []obs.MetricPoint
+	if err := json.Unmarshal(jsonPage, &points); err != nil {
+		t.Fatalf("/metrics.json does not decode: %v\npage:\n%s", err, jsonPage)
+	}
+	if len(points) == 0 {
+		t.Error("/metrics.json is empty")
+	}
+
+	progPage := httpGet(t, "http://"+addr+"/progress")
+	var snaps []obs.TaskSnapshot
+	if err := json.Unmarshal(progPage, &snaps); err != nil {
+		t.Fatalf("/progress does not decode: %v\npage:\n%s", err, progPage)
+	}
+}
+
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	client := &http.Client{Timeout: 10 * time.Second}
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			lastErr = err
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		var buf bytes.Buffer
+		_, err = buf.ReadFrom(resp.Body)
+		if cerr := resp.Body.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, buf.String())
+		}
+		return buf.Bytes()
+	}
+	t.Fatalf("GET %s never succeeded: %v", url, lastErr)
+	return nil
+}

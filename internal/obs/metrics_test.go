@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAddInc(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+func TestCounterMergeFloor(t *testing.T) {
+	var c Counter
+	c.Add(7)
+	c.mergeFloor(100)
+	if got := c.Value(); got != 100 {
+		t.Fatalf("after raise: Value = %d, want 100", got)
+	}
+	c.mergeFloor(5)
+	if got := c.Value(); got != 100 {
+		t.Fatalf("merge must never lower: Value = %d, want 100", got)
+	}
+	c.mergeFloor(100)
+	if got := c.Value(); got != 100 {
+		t.Fatalf("merge is idempotent: Value = %d, want 100", got)
+	}
+}
+
+func TestFloatCounterAndGauge(t *testing.T) {
+	var fc FloatCounter
+	fc.Add(1.5)
+	fc.Add(2.25)
+	if got := fc.Value(); got != 3.75 {
+		t.Fatalf("FloatCounter = %v, want 3.75", got)
+	}
+	var fg FloatGauge
+	fg.Set(0.125)
+	if got := fg.Value(); got != 0.125 {
+		t.Fatalf("FloatGauge = %v, want 0.125", got)
+	}
+	var g Gauge
+	g.Add(3)
+	g.Add(-5)
+	if got := g.Value(); got != -2 {
+		t.Fatalf("Gauge = %d, want -2", got)
+	}
+	g.Set(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("Gauge after Set = %d, want 9", got)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) on empty histogram = %v, want NaN", q, got)
+		}
+	}
+	if got := h.Min(); !math.IsInf(got, 1) {
+		t.Fatalf("empty Min = %v, want +Inf", got)
+	}
+	if got := h.Max(); !math.IsInf(got, -1) {
+		t.Fatalf("empty Max = %v, want -Inf", got)
+	}
+}
+
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	h.Observe(1.7)
+	// With one observation Min == Max == 1.7; every quantile must be
+	// exactly the sample, not a bucket-bound interpolation.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 1.7 {
+			t.Fatalf("Quantile(%v) = %v, want the single sample 1.7", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileAllOverflow(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(10)
+	h.Observe(20)
+	h.Observe(30)
+	// Every sample is past the last bound: the overflow bucket has no
+	// upper bound, so the only honest report is the observed max.
+	for _, q := range []float64{0.5, 0.9, 1} {
+		if got := h.Quantile(q); got != 30 {
+			t.Fatalf("Quantile(%v) = %v, want observed max 30", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30})
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // bucket le=10
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(25) // bucket le=30
+	}
+	if got := h.Quantile(0.25); got < 5 || got > 10 {
+		t.Fatalf("Quantile(0.25) = %v, want within first bucket [5,10]", got)
+	}
+	if got := h.Quantile(0.9); got < 20 || got > 25 {
+		t.Fatalf("Quantile(0.9) = %v, want within [20, max 25]", got)
+	}
+	if got, want := h.N(), int64(20); got != want {
+		t.Fatalf("N = %d, want %d", got, want)
+	}
+	if got, want := h.Sum(), float64(10*5+10*25); got != want {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	// Out-of-range q clamps instead of extrapolating.
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Fatalf("Quantile(-1) = %v, want clamp to Quantile(0) = %v", got, h.Quantile(0))
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Fatalf("Quantile(2) = %v, want clamp to Quantile(1) = %v", got, h.Quantile(1))
+	}
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Quantile(NaN) = %v, want NaN", got)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("newHistogram with non-increasing bounds did not panic")
+		}
+	}()
+	newHistogram([]float64{1, 1})
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kind_clash_total")
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("registering one name as two kinds did not panic")
+		}
+		if s, ok := v.(string); !ok || !strings.Contains(s, "kind_clash_total") {
+			t.Fatalf("panic %v does not name the clashing metric", v)
+		}
+	}()
+	r.Gauge("kind_clash_total")
+}
+
+func TestRegistryMalformedNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("malformed metric name did not panic")
+		}
+	}()
+	r.Counter(`bad name{x=unquoted}`)
+}
+
+func TestRegistryMergeCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("resumed_total").Add(7)
+	r.MergeCounters(map[string]int64{
+		"resumed_total": 100, // raises the live counter
+		"fresh_total":   12,  // materializes a counter that didn't exist yet
+		"bad name":      5,   // invalid name: skipped
+	})
+	if got := r.Counter("resumed_total").Value(); got != 100 {
+		t.Fatalf("resumed_total = %d, want 100", got)
+	}
+	if got := r.Counter("fresh_total").Value(); got != 12 {
+		t.Fatalf("fresh_total = %d, want 12", got)
+	}
+	vals := r.CounterValues()
+	if _, ok := vals["bad name"]; ok {
+		t.Fatal("invalid counter name leaked into the registry")
+	}
+}
+
+func TestRegistryMergeSkipsWrongKind(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("depth")
+	r.MergeCounters(map[string]int64{"depth": 55})
+	if got := r.Gauge("depth").Value(); got != 0 {
+		t.Fatalf("merge overwrote a non-counter metric: gauge = %d", got)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// creation races, hot-path updates, and exposition all at once. Run
+// under -race this is the package's data-race certificate.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("conc_total").Inc()
+				r.Counter(`conc_labeled_total{worker="a"}`).Inc()
+				r.Gauge("conc_gauge").Set(int64(i))
+				r.FloatCounter("conc_float_total").Add(0.5)
+				r.Histogram("conc_hist", 1, 10, 100).Observe(float64(i % 200))
+				if i%500 == 0 {
+					_ = r.Snapshot()
+					_ = r.WritePrometheus(discard{})
+					r.MergeCounters(map[string]int64{"conc_total": int64(i)})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := r.Counter("conc_total").Value(), int64(workers*iters); got != want {
+		t.Fatalf("conc_total = %d, want %d", got, want)
+	}
+	if got, want := r.Histogram("conc_hist").N(), int64(workers*iters); got != want {
+		t.Fatalf("conc_hist N = %d, want %d", got, want)
+	}
+	if got, want := r.FloatCounter("conc_float_total").Value(), float64(workers*iters)*0.5; got != want {
+		t.Fatalf("conc_float_total = %v, want %v", got, want)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

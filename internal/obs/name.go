@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Metric names follow the Prometheus grammar: a bare metric name
+// (`syssim_events_total`) or a name with an inline label block
+// (`syssim_repair_bytes_total{method="R_ALL"}`). The full string is the
+// registry key, so two label sets of the same base metric are two
+// independent atomic cells — labelled hot-path updates stay lock-free.
+
+// validName reports whether name is a bare metric name or a name with a
+// well-formed label block.
+func validName(name string) bool {
+	base, labels, ok := splitName(name)
+	if !ok || !validBareName(base) {
+		return false
+	}
+	for _, l := range labels {
+		if !validLabelName(l.Key) || strings.ContainsAny(l.Value, `"\`+"\n") {
+			return false
+		}
+	}
+	return true
+}
+
+func mustValidName(name string) {
+	if !validName(name) {
+		//lint:allow nakedpanic metric names are compile-time instrumentation constants; a malformed one is a programmer error
+		panic(fmt.Sprintf("obs: malformed metric name %q", name))
+	}
+}
+
+// splitName splits a metric name into its base and parsed label pairs.
+// Bare names return an empty label slice.
+func splitName(name string) (base string, labels []Label, ok bool) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, nil, true
+	}
+	if !strings.HasSuffix(name, "}") {
+		return "", nil, false
+	}
+	base = name[:i]
+	body := name[i+1 : len(name)-1]
+	if body == "" {
+		return base, nil, true
+	}
+	for _, part := range strings.Split(body, ",") {
+		k, v, found := strings.Cut(part, "=")
+		if !found || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return "", nil, false
+		}
+		labels = append(labels, Label{Key: strings.TrimSpace(k), Value: v[1 : len(v)-1]})
+	}
+	return base, labels, true
+}
+
+// Label is one key="value" pair of a metric name's label block.
+type Label struct {
+	Key   string
+	Value string
+}
+
+func validBareName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || (s[0] >= '0' && s[0] <= '9') {
+		return false
+	}
+	for _, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// formatLabels renders label pairs plus any extras (the histogram `le`
+// label) as a canonical `{k="v",...}` block, keys sorted; empty input
+// renders as the empty string.
+func formatLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProgressTaskLifecycle(t *testing.T) {
+	tr := &Tracker{}
+	task := tr.StartTask("unit.test", 100)
+	defer task.Finish() // Finish removes from Progress, not tr; harmless
+	task.Add(25)
+	task.SetLevel(2, 6)
+	task.SetOccupancy(0.4)
+	task.SetCIWidth(0.01)
+	task.SetNote("warming")
+	snaps := tr.Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d snapshots, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Name != "unit.test" || s.Done != 25 || s.Goal != 100 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.Level != 2 || s.MaxLevel != 6 || s.Occupancy != 0.4 || s.CIWidth != 0.01 || s.Note != "warming" {
+		t.Fatalf("snapshot detail %+v", s)
+	}
+	tr.remove(task)
+	if got := tr.Snapshots(); len(got) != 0 {
+		t.Fatalf("after remove: %d snapshots", len(got))
+	}
+}
+
+func TestProgressRender(t *testing.T) {
+	tr := &Tracker{}
+	reg := NewRegistry()
+	reg.Gauge("runctl_pool_workers_live").Set(4)
+
+	var idle bytes.Buffer
+	tr.Render(&idle, reg)
+	if !strings.Contains(idle.String(), "idle") || !strings.Contains(idle.String(), "workers live 4") {
+		t.Fatalf("idle render %q", idle.String())
+	}
+
+	task := tr.StartTask("render.test", 10)
+	task.Add(5)
+	task.SetLevel(1, 3)
+	var out bytes.Buffer
+	tr.Render(&out, reg)
+	line := out.String()
+	for _, frag := range []string{"render.test", "5/10", "50.0%", "level 1/3", "workers live 4"} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("render %q missing %q", line, frag)
+		}
+	}
+	tr.remove(task)
+}
+
+func TestFormatShort(t *testing.T) {
+	for v, want := range map[float64]string{
+		2:         "2",
+		150:       "150",
+		2500:      "2.5k",
+		3_200_000: "3.2M",
+	} {
+		if got := formatShort(v); got != want {
+			t.Errorf("formatShort(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

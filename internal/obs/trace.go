@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Trace event kinds. All times are simulated hours — the recorder
+// never stamps wall-clock time, so a fixed-seed run produces an
+// identical trace on any host.
+const (
+	EvFailure        = "failure"         // a disk failed
+	EvRepairStart    = "repair_start"    // a repair began (local or network)
+	EvRepairEnd      = "repair_end"      // a repair completed
+	EvPoolCat        = "pool_cat"        // a pool crossed into catastrophic state
+	EvPoolHeal       = "pool_heal"       // a catastrophic pool fully re-protected
+	EvCheckpoint     = "checkpoint"      // a run-control checkpoint was saved
+	EvLevelPromotion = "level_promotion" // a splitting run advanced one level
+)
+
+// TraceEvent is one JSONL record of a simulated-time trace. Unused
+// fields stay at their zero values and are omitted from the encoding;
+// Seq is a process-wide sequence number assigned at emission so
+// cmd/mlectrace can detect truncated or interleaved files.
+type TraceEvent struct {
+	Seq    uint64  `json:"seq"`
+	T      float64 `json:"t"` // simulated hours
+	Kind   string  `json:"kind"`
+	Pool   int     `json:"pool,omitempty"`
+	Disk   int     `json:"disk,omitempty"`
+	Level  int     `json:"level,omitempty"`
+	Method string  `json:"method,omitempty"`
+	Bytes  float64 `json:"bytes,omitempty"`
+	Note   string  `json:"note,omitempty"`
+}
+
+// traceFlushThreshold bounds the recorder's in-memory buffer: once the
+// pending encoded bytes pass it, they are flushed to the sink inside
+// the emitting call. There is no background drain goroutine, so a
+// trace file's content is a deterministic function of the event
+// sequence alone.
+const traceFlushThreshold = 64 * 1024
+
+// Recorder buffers trace events and writes them as JSONL. The zero
+// value is a disabled recorder whose Emit is a single atomic load —
+// cheap enough to leave emission sites unconditioned.
+type Recorder struct {
+	on atomic.Bool
+
+	mu   sync.Mutex
+	sink io.Writer
+	buf  bytes.Buffer
+	seq  uint64
+	err  error // first write/encode error; emission stops on it
+}
+
+// Trace is the process-wide recorder; -trace-out starts it.
+var Trace = &Recorder{}
+
+// Start begins recording to sink. It returns an error if the recorder
+// is already running.
+func (r *Recorder) Start(sink io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.on.Load() {
+		return fmt.Errorf("obs: trace recorder already started")
+	}
+	r.sink = sink
+	r.buf.Reset()
+	r.seq = 0
+	r.err = nil
+	r.on.Store(true)
+	return nil
+}
+
+// Emit records one event. When the recorder is off this is one atomic
+// load and no allocation; engines therefore call it unconditionally.
+func (r *Recorder) Emit(ev TraceEvent) {
+	if !r.on.Load() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.on.Load() || r.err != nil {
+		return
+	}
+	r.seq++
+	ev.Seq = r.seq
+	b, err := json.Marshal(ev)
+	if err != nil {
+		r.err = err
+		return
+	}
+	r.buf.Write(b)
+	r.buf.WriteByte('\n')
+	if r.buf.Len() >= traceFlushThreshold {
+		r.flushLocked()
+	}
+}
+
+func (r *Recorder) flushLocked() {
+	if r.err != nil || r.sink == nil || r.buf.Len() == 0 {
+		return
+	}
+	_, err := r.sink.Write(r.buf.Bytes())
+	r.buf.Reset()
+	if err != nil {
+		r.err = err
+	}
+}
+
+// Stop flushes pending events, disables the recorder and returns the
+// first error encountered over its lifetime (encoding or sink writes).
+// The sink itself is owned by the caller (the CLI closes the file).
+func (r *Recorder) Stop() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.on.Load() {
+		return nil
+	}
+	r.flushLocked()
+	r.on.Store(false)
+	r.sink = nil
+	return r.err
+}
+
+// Enabled reports whether the recorder is running.
+func (r *Recorder) Enabled() bool { return r.on.Load() }
+
+// ParseTraceEvents reads a JSONL trace, validating that every line
+// decodes, that kinds are known, and that sequence numbers increase
+// strictly — the schema contract cmd/mlectrace relies on.
+func ParseTraceEvents(rd io.Reader) ([]TraceEvent, error) {
+	var out []TraceEvent
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	var lastSeq uint64
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		switch ev.Kind {
+		case EvFailure, EvRepairStart, EvRepairEnd, EvPoolCat, EvPoolHeal,
+			EvCheckpoint, EvLevelPromotion:
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown event kind %q", lineNo, ev.Kind)
+		}
+		if ev.Seq <= lastSeq {
+			return nil, fmt.Errorf("trace: line %d: sequence %d not increasing (after %d)",
+				lineNo, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	var sink bytes.Buffer
+	rec := &Recorder{}
+	if rec.Enabled() {
+		t.Fatal("zero-value recorder reports enabled")
+	}
+	if err := rec.Start(&sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Start(&sink); err == nil {
+		t.Fatal("second Start did not error")
+	}
+	rec.Emit(TraceEvent{T: 1.5, Kind: EvFailure, Pool: 2, Disk: 17})
+	rec.Emit(TraceEvent{T: 1.5, Kind: EvRepairStart, Pool: 2, Method: "local", Bytes: 4e9})
+	rec.Emit(TraceEvent{T: 9.25, Kind: EvRepairEnd, Pool: 2, Method: "local", Bytes: 4e9})
+	if err := rec.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ParseTraceEvents(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	if evs[0].Kind != EvFailure || evs[0].Disk != 17 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[2].T != 9.25 || evs[2].Bytes != 4e9 {
+		t.Fatalf("event 2 = %+v", evs[2])
+	}
+	// Stopped recorder: emissions are dropped, Stop is idempotent.
+	before := sink.Len()
+	rec.Emit(TraceEvent{Kind: EvFailure})
+	if err := rec.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != before {
+		t.Fatal("emission after Stop reached the sink")
+	}
+}
+
+func TestRecorderOffIsNoop(t *testing.T) {
+	rec := &Recorder{}
+	rec.Emit(TraceEvent{Kind: EvFailure}) // must not panic or buffer
+	if err := rec.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderRestartResetsSequence(t *testing.T) {
+	var first, second bytes.Buffer
+	rec := &Recorder{}
+	if err := rec.Start(&first); err != nil {
+		t.Fatal(err)
+	}
+	rec.Emit(TraceEvent{Kind: EvCheckpoint})
+	rec.Emit(TraceEvent{Kind: EvCheckpoint})
+	if err := rec.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Start(&second); err != nil {
+		t.Fatal(err)
+	}
+	rec.Emit(TraceEvent{Kind: EvCheckpoint})
+	if err := rec.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ParseTraceEvents(&second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Seq != 1 {
+		t.Fatalf("restarted recorder events = %+v, want one event with seq 1", evs)
+	}
+}
+
+func TestRecorderFlushesAtThreshold(t *testing.T) {
+	var sink bytes.Buffer
+	rec := &Recorder{}
+	if err := rec.Start(&sink); err != nil {
+		t.Fatal(err)
+	}
+	long := strings.Repeat("x", 1024)
+	for i := 0; i < traceFlushThreshold/1024+2; i++ {
+		rec.Emit(TraceEvent{Kind: EvCheckpoint, Note: long})
+	}
+	if sink.Len() == 0 {
+		t.Fatal("buffer never flushed despite crossing the threshold")
+	}
+	if err := rec.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTraceRejects(t *testing.T) {
+	bad := map[string]string{
+		"unknown kind":   `{"seq":1,"t":0,"kind":"made_up"}`,
+		"repeated seq":   "{\"seq\":1,\"kind\":\"failure\"}\n{\"seq\":1,\"kind\":\"failure\"}",
+		"decreasing seq": "{\"seq\":2,\"kind\":\"failure\"}\n{\"seq\":1,\"kind\":\"failure\"}",
+		"zero seq":       `{"seq":0,"kind":"failure"}`,
+		"not json":       "this is not json",
+	}
+	for name, in := range bad {
+		if _, err := ParseTraceEvents(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+	evs, err := ParseTraceEvents(strings.NewReader("\n\n{\"seq\":3,\"kind\":\"pool_heal\"}\n\n"))
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("blank lines must be skipped: %v %v", evs, err)
+	}
+}

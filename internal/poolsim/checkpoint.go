@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mlec/internal/failure"
+	"mlec/internal/obs"
 )
 
 // splitCheckpointKind names split checkpoints inside the runctl
@@ -65,8 +66,13 @@ type detectJSON struct {
 	R float64 `json:"r"`
 }
 
-// encodeSnapshots converts level entries to their sparse wire form.
+// encodeSnapshots converts level entries to their sparse wire form and
+// feeds the poolsim_split_snapshot_disks histogram, which tracks how
+// dense the sparse encoding actually is — the knob that decides whether
+// checkpoints stay cheap at depth.
 func encodeSnapshots(entries []*snapshot) []snapshotJSON {
+	sizes := obs.Default.Histogram("poolsim_split_snapshot_disks",
+		1, 2, 4, 8, 16, 32, 64)
 	out := make([]snapshotJSON, len(entries))
 	for i, e := range entries {
 		var sj snapshotJSON
@@ -84,6 +90,7 @@ func encodeSnapshots(entries []*snapshot) []snapshotJSON {
 			sj.Detect = append(sj.Detect, detectJSON{D: d, R: rem})
 		}
 		sort.Slice(sj.Detect, func(a, b int) bool { return sj.Detect[a].D < sj.Detect[b].D })
+		sizes.Observe(float64(len(sj.Disks)))
 		out[i] = sj
 	}
 	return out

@@ -7,8 +7,10 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"time"
 
 	"mlec/internal/failure"
+	"mlec/internal/obs"
 	"mlec/internal/runctl"
 	"mlec/internal/sim"
 )
@@ -189,11 +191,27 @@ func SplitContext(ctx context.Context, cfg Config, ttf failure.Exponential, sc S
 		}
 	}
 
+	// Observability: a progress task plus registry gauges. All updates
+	// are write-only from the engine's point of view — nothing below
+	// ever reads them back — so they cannot perturb the estimate.
+	task := obs.Progress.StartTask("poolsim.split", int64(maxLevel)*int64(n))
+	defer task.Finish()
+	task.SetDone(int64(startLevel-1) * int64(n))
+	trialCount := obs.Default.Counter("poolsim_split_trajectories_total")
+	levelGauge := obs.Default.Gauge("poolsim_split_level")
+	occGauge := obs.Default.FloatGauge("poolsim_split_entry_occupancy")
+	ciwGauge := obs.Default.FloatGauge("poolsim_split_ci_width")
+	levelWall := obs.Default.Histogram("poolsim_split_level_wall_seconds",
+		0.1, 0.5, 1, 5, 15, 60, 300, 1800)
+
 	for level := startLevel; level <= maxLevel && len(entries) > 0; level++ {
 		if ctx.Err() != nil {
 			res.Partial = true
 			break
 		}
+		levelGauge.Set(int64(level))
+		task.SetLevel(level, maxLevel)
+		levelBegan := time.Now()
 		// Trajectories are independent given the entry set; run them on
 		// all CPUs through the runctl pool so a panicking trajectory
 		// surfaces as a typed error with its RNG stream instead of
@@ -238,6 +256,8 @@ func SplitContext(ctx context.Context, cfg Config, ttf failure.Exponential, sc S
 						return err
 					}
 					slots[i] = out
+					trialCount.Inc()
+					task.Add(1)
 				}
 				return nil
 			})
@@ -280,6 +300,22 @@ func SplitContext(ctx context.Context, cfg Config, ttf failure.Exponential, sc S
 			res.EntryShortfall = append(res.EntryShortfall, level+1)
 		}
 		entries = nextEntries
+
+		// Level-boundary observability: entry occupancy, the running CI
+		// width, wall time of the level, and a level-promotion trace
+		// event. Single-threaded here, so the trace stays deterministic.
+		occ := float64(len(nextEntries)) / float64(n)
+		occGauge.Set(occ)
+		task.SetOccupancy(occ)
+		ciw := 2 * 1.96 * beta0 * math.Sqrt(varSum)
+		ciwGauge.Set(ciw)
+		task.SetCIWidth(ciw)
+		levelWall.Observe(time.Since(levelBegan).Seconds())
+		obs.Trace.Emit(obs.TraceEvent{
+			Kind:  obs.EvLevelPromotion,
+			Level: level,
+			Note:  fmt.Sprintf("up=%d cat=%d entries=%d", ups, cats, len(nextEntries)),
+		})
 
 		if sc.CheckpointPath != "" {
 			ck := splitCheckpoint{

@@ -8,6 +8,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"mlec/internal/obs"
 )
 
 // CheckpointVersion is the on-disk format version. Readers reject files
@@ -18,11 +20,16 @@ const CheckpointVersion = 1
 // payload. Kind names the producing estimator ("poolsim.split",
 // "burst.pdl", "burst.grid"); Fingerprint hashes the configuration and
 // seed so a checkpoint is never resumed into a different campaign.
+// Counters is a snapshot of the observability registry's integer
+// counters at save time, so a run resumed in a fresh process reports
+// cumulative (not restarted) trial counts; it is optional and old
+// files without it load unchanged, which is why the version stays 1.
 type checkpointEnvelope struct {
-	Version     int             `json:"version"`
-	Kind        string          `json:"kind"`
-	Fingerprint string          `json:"fingerprint"`
-	Payload     json.RawMessage `json:"payload"`
+	Version     int              `json:"version"`
+	Kind        string           `json:"kind"`
+	Fingerprint string           `json:"fingerprint"`
+	Counters    map[string]int64 `json:"counters,omitempty"`
+	Payload     json.RawMessage  `json:"payload"`
 }
 
 // SaveCheckpoint atomically writes payload to path as a gzip-compressed
@@ -38,6 +45,7 @@ func SaveCheckpoint(path, kind, fingerprint string, payload any) error {
 		Version:     CheckpointVersion,
 		Kind:        kind,
 		Fingerprint: fingerprint,
+		Counters:    obs.Default.CounterValues(),
 		Payload:     raw,
 	})
 	if err != nil {
@@ -67,6 +75,11 @@ func SaveCheckpoint(path, kind, fingerprint string, payload any) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("runctl: committing checkpoint %s: %w", path, err)
 	}
+	obs.Default.Counter("runctl_checkpoint_saves_total").Inc()
+	// Checkpoints are saved at single-threaded boundaries (level ends,
+	// round ends), so emitting the trace event here keeps trace files
+	// deterministic without per-engine wiring.
+	obs.Trace.Emit(obs.TraceEvent{Kind: obs.EvCheckpoint, Note: kind})
 	return nil
 }
 
@@ -108,5 +121,11 @@ func LoadCheckpoint(path, kind, fingerprint string, payload any) (bool, error) {
 	if err := json.Unmarshal(env.Payload, payload); err != nil {
 		return false, fmt.Errorf("runctl: decoding %s checkpoint payload: %w", kind, err)
 	}
+	obs.Default.Counter("runctl_checkpoint_loads_total").Inc()
+	// Restore the saved counter snapshot so a resumed run reports
+	// cumulative totals. The merge floors each counter at its saved
+	// value (never lowers it), so a same-process resume — where the
+	// counters already advanced past the snapshot — is unaffected.
+	obs.Default.MergeCounters(env.Counters)
 	return true, nil
 }

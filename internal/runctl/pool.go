@@ -3,6 +3,8 @@ package runctl
 import (
 	"context"
 	"sync"
+
+	"mlec/internal/obs"
 )
 
 // Pool is the managed worker pool every engine fans out through. It
@@ -39,6 +41,7 @@ func (p *Pool) Context() context.Context { return p.ctx }
 // first non-nil error — returned or recovered — is kept for Wait.
 func (p *Pool) Go(stream int64, fn func(ctx context.Context) error) {
 	p.wg.Add(1)
+	obs.Default.Counter("runctl_pool_workers_started_total").Inc()
 	live.Add(1)
 	go func() {
 		defer func() {

@@ -33,7 +33,8 @@ package runctl
 import (
 	"fmt"
 	"runtime/debug"
-	"sync/atomic"
+
+	"mlec/internal/obs"
 )
 
 // PanicError is a worker panic converted into an error. Stream
@@ -56,10 +57,13 @@ func (e *PanicError) Error() string {
 
 // Guard runs fn and converts a panic into a *PanicError carrying the
 // stream id. It is the per-trial containment primitive; Pool applies it
-// to whole workers automatically.
+// to whole workers automatically. Contained panics tick
+// runctl_pool_panics_total so a run that survived bad trajectories
+// shows them in the same registry as everything else.
 func Guard(stream int64, fn func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			obs.Default.Counter("runctl_pool_panics_total").Inc()
 			err = &PanicError{Stream: stream, Value: r, Stack: debug.Stack()}
 		}
 	}()
@@ -67,11 +71,13 @@ func Guard(stream int64, fn func()) (err error) {
 	return nil
 }
 
-// live counts worker goroutines currently running under any Pool. Tests
-// assert it returns to zero after cancellation to prove the engines leak
-// no goroutines.
-var live atomic.Int64
+// live gauges worker goroutines currently running under any Pool, in
+// the shared observability registry so panics and drains are visible
+// next to every other signal. Tests assert it returns to zero after
+// cancellation to prove the engines leak no goroutines.
+var live = obs.Default.Gauge("runctl_pool_workers_live")
 
 // Live returns the number of pool workers currently running,
-// process-wide.
-func Live() int64 { return live.Load() }
+// process-wide. It reads the runctl_pool_workers_live gauge of
+// obs.Default.
+func Live() int64 { return live.Value() }

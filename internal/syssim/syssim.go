@@ -21,6 +21,7 @@ import (
 	"mlec/internal/bwmodel"
 	"mlec/internal/failure"
 	"mlec/internal/mathx/rngsplit"
+	"mlec/internal/obs"
 	"mlec/internal/placement"
 	"mlec/internal/poolsim"
 	"mlec/internal/repair"
@@ -99,6 +100,16 @@ type System struct {
 	netBW float64 // network repair bandwidth (bytes/s)
 
 	stats Stats
+
+	// Observability cells, resolved once at construction so the event
+	// loop pays one atomic per update. Strictly write-only: the
+	// simulation never reads them back.
+	eventsC    *obs.Counter
+	failuresC  *obs.Counter
+	catC       *obs.Counter
+	catGauge   *obs.Gauge
+	depthGauge *obs.Gauge
+	xrackC     *obs.FloatCounter
 }
 
 // New builds the simulator.
@@ -136,6 +147,14 @@ func New(cfg Config) (*System, error) {
 		eng:     sim.New(),
 		rng:     rngsplit.Derive(cfg.Seed, streamEngine),
 		netBW:   bwmodel.New(l).PoolRepairBandwidth(),
+
+		eventsC:    obs.Default.Counter("syssim_events_total"),
+		failuresC:  obs.Default.Counter("syssim_disk_failures_total"),
+		catC:       obs.Default.Counter("syssim_cat_events_total"),
+		catGauge:   obs.Default.Gauge("syssim_pools_catastrophic"),
+		depthGauge: obs.Default.Gauge("syssim_event_queue_depth"),
+		xrackC: obs.Default.FloatCounter(fmt.Sprintf(
+			"syssim_cross_rack_repair_bytes_total{method=%q}", cfg.Method)),
 	}
 	n := l.TotalLocalPools()
 	s.pools = make([]*poolsim.Pool, n)
@@ -281,18 +300,29 @@ func RunContext(ctx context.Context, cfg Config, years float64, seed int64) (Sta
 	}
 	s.armFailureClock()
 	horizon := years * failure.HoursPerYear
+	task := obs.Progress.StartTask("syssim.run", 0)
+	defer task.Finish()
 	const pollEvery = 1024
 	for i := 0; ; i++ {
-		if i%pollEvery == 0 && ctx.Err() != nil {
-			s.stats.Partial = true
-			s.stats.SimYears = s.eng.Now() / failure.HoursPerYear
-			return s.stats, nil
+		if i%pollEvery == 0 {
+			// Poll-point observability: queue depth and simulated span.
+			// Reads of engine state here feed metrics only, never flow
+			// back into the simulation.
+			s.depthGauge.Set(int64(s.eng.Pending()))
+			task.SetNote(fmt.Sprintf("simyears %.2f/%.2f", s.eng.Now()/failure.HoursPerYear, years))
+			if ctx.Err() != nil {
+				s.stats.Partial = true
+				s.stats.SimYears = s.eng.Now() / failure.HoursPerYear
+				return s.stats, nil
+			}
 		}
 		next, ok := s.eng.NextTime()
 		if !ok || next > horizon {
 			break
 		}
 		s.eng.Step()
+		s.eventsC.Inc()
+		task.Add(1)
 	}
 	s.eng.RunUntil(horizon) // advance the clock; no events fire
 	s.stats.SimYears = years
@@ -344,6 +374,8 @@ func (s *System) failRandomDisk() {
 	}
 	d := s.pools[pool].RandomHealthyDisk(s.rng)
 	s.stats.DiskFailures++
+	s.failuresC.Inc()
+	obs.Trace.Emit(obs.TraceEvent{T: s.eng.Now(), Kind: obs.EvFailure, Pool: pool, Disk: d})
 	s.poolHealthy[pool]--
 	s.healthy--
 
@@ -371,8 +403,12 @@ func (s *System) replanLocalRepair(pool int) {
 	}
 	bw := s.poolCfg.RepairBW(s.pools[pool].DetectedDisks())
 	hours := batch.VolumeBytes() / bw / 3600
+	obs.Trace.Emit(obs.TraceEvent{T: s.eng.Now(), Kind: obs.EvRepairStart,
+		Pool: pool, Method: "local", Bytes: batch.VolumeBytes()})
 	s.poolRepair[pool] = s.eng.Schedule(hours, func() {
 		s.poolRepair[pool] = nil
+		obs.Trace.Emit(obs.TraceEvent{T: s.eng.Now(), Kind: obs.EvRepairEnd,
+			Pool: pool, Method: "local", Bytes: batch.VolumeBytes()})
 		healed := s.pools[pool].HealBatch(batch)
 		s.onDisksHealed(pool, len(healed))
 		s.refreshMemberLost(pool)
@@ -395,7 +431,11 @@ func (s *System) onCatastrophic(pool int) {
 	if !s.poolCat[pool] {
 		s.poolCat[pool] = true
 		s.stats.CatastrophicEvents++
-		if c := s.concurrentCatPools(); c > s.stats.MaxConcurrentCatPools {
+		s.catC.Inc()
+		c := s.concurrentCatPools()
+		s.catGauge.Set(int64(c))
+		obs.Trace.Emit(obs.TraceEvent{T: s.eng.Now(), Kind: obs.EvPoolCat, Pool: pool})
+		if c > s.stats.MaxConcurrentCatPools {
 			s.stats.MaxConcurrentCatPools = c
 		}
 		if s.cfg.Method == repair.RAll {
@@ -406,6 +446,8 @@ func (s *System) onCatastrophic(pool int) {
 	s.eng.Cancel(s.netRepair[pool])
 	volume := s.networkVolume(pool)
 	hours := volume/s.netBW/3600 + s.cfg.DetectionDelayHours
+	obs.Trace.Emit(obs.TraceEvent{T: s.eng.Now(), Kind: obs.EvRepairStart,
+		Pool: pool, Method: s.cfg.Method.String(), Bytes: volume})
 	s.netRepair[pool] = s.eng.Schedule(hours, func() {
 		s.netRepair[pool] = nil
 		s.completeNetworkRepair(pool)
@@ -458,7 +500,11 @@ func (s *System) networkVolume(pool int) float64 {
 func (s *System) completeNetworkRepair(pool int) {
 	p := s.pools[pool]
 	volume := s.networkVolume(pool)
-	s.stats.CrossRackRepairBytes += volume * float64(s.cfg.Params.KN+1)
+	traffic := volume * float64(s.cfg.Params.KN+1)
+	s.stats.CrossRackRepairBytes += traffic
+	s.xrackC.Add(traffic)
+	obs.Trace.Emit(obs.TraceEvent{T: s.eng.Now(), Kind: obs.EvRepairEnd,
+		Pool: pool, Method: s.cfg.Method.String(), Bytes: traffic})
 
 	switch s.cfg.Method {
 	case repair.RAll, repair.RFCO:
@@ -493,6 +539,8 @@ func (s *System) completeNetworkRepair(pool int) {
 		s.markWholePool(pool, false)
 	}
 	s.poolCat[pool] = false
+	s.catGauge.Set(int64(s.concurrentCatPools()))
+	obs.Trace.Emit(obs.TraceEvent{T: s.eng.Now(), Kind: obs.EvPoolHeal, Pool: pool})
 	s.refreshMemberLost(pool)
 	// New damage may already have re-accumulated during the window.
 	if p.LostStripes() > 0 {
