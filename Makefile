@@ -5,7 +5,7 @@ GO ?= go
 # Packages with worker pools / goroutine fan-out: the race-detector set.
 RACE_PKGS = ./internal/burst ./internal/poolsim ./internal/rs ./internal/syssim ./internal/cluster ./internal/runctl ./internal/obs
 
-.PHONY: check build vet lint test race stress bench fuzz obs-smoke
+.PHONY: check build vet lint test race stress bench bench-json fuzz obs-smoke
 
 ## check: build + vet + mlecvet + tests + race tests — the CI gate.
 check: build vet lint test race stress obs-smoke
@@ -47,6 +47,14 @@ obs-smoke:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
+## bench-json: refresh the committed kernel benchmark baseline
+## (BENCH_gf256.json): GB/s and allocs/op for the gf256 primitives and
+## the RS encode/reconstruct paths. LABEL names the run; APPEND=1 keeps
+## the runs already in the file so before/after pairs sit side by side.
+LABEL ?= dev
+bench-json:
+	$(GO) run ./cmd/mlecbench -label $(LABEL) -out BENCH_gf256.json $(if $(APPEND),-append)
+
 ## fuzz: short fuzzing smoke of the hand-written parsers (failure-trace
 ## files, //lint:allow directives). `go test -fuzz` accepts a single
 ## target per invocation, hence one line each.
@@ -54,3 +62,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseTrace -fuzztime=10s ./internal/failure
 	$(GO) test -run='^$$' -fuzz=FuzzParseAllowDirective -fuzztime=10s ./internal/lint
 	$(GO) test -run='^$$' -fuzz=FuzzTaintEngine -fuzztime=10s ./internal/lint
+	$(GO) test -run='^$$' -fuzz=FuzzEscapeEngine -fuzztime=10s ./internal/lint

@@ -160,6 +160,9 @@ func main() {
 		for _, pos := range pkg.MalformedUnit {
 			report.MalformedDirectives = append(report.MalformedDirectives, toJSONPos(pos))
 		}
+		for _, pos := range pkg.MalformedHot {
+			report.MalformedDirectives = append(report.MalformedDirectives, toJSONPos(pos))
+		}
 	}
 	for _, d := range diags {
 		report.Findings = append(report.Findings, jsonFinding{
@@ -182,6 +185,9 @@ func main() {
 			}
 			for _, pos := range pkg.MalformedUnit {
 				fmt.Printf("%s: directive: //mlec:unit needs a domain (prob, logprob, rate, count, weight)\n", pos)
+			}
+			for _, pos := range pkg.MalformedHot {
+				fmt.Printf("%s: directive: //mlec:hot anchors a function or statement; //mlec:cold anchors a function\n", pos)
 			}
 		}
 		for _, d := range diags {

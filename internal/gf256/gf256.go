@@ -113,6 +113,8 @@ func MulTable(c byte) *[256]byte { return &mulTable[c] }
 
 // MulSlice sets dst[i] = c * src[i] for all i. dst and src must have the
 // same length; they may alias.
+//
+//mlec:hot per-byte codec kernel
 func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		//lint:allow nakedpanic hot-kernel precondition; the bounds-check analogue for mismatched shard geometry
@@ -148,6 +150,8 @@ func MulSlice(c byte, src, dst []byte) {
 
 // MulAddSlice sets dst[i] ^= c * src[i] for all i — the fundamental
 // encode kernel (one matrix coefficient applied to one data shard).
+//
+//mlec:hot per-byte codec kernel
 func MulAddSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		//lint:allow nakedpanic hot-kernel precondition; the bounds-check analogue for mismatched shard geometry
@@ -178,6 +182,8 @@ func MulAddSlice(c byte, src, dst []byte) {
 }
 
 // XorSlice sets dst[i] ^= src[i] for all i, using word-wide XOR.
+//
+//mlec:hot per-byte codec kernel
 func XorSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		//lint:allow nakedpanic hot-kernel precondition; the bounds-check analogue for mismatched shard geometry

@@ -12,12 +12,12 @@
 //
 // The builder covers the statements that appear in straight Go code:
 // if/else, for (including range), switch and type switch (including
-// fallthrough), select, labeled break/continue, return, and goto (an
-// edge to the function exit — a sound over-approximation for the
-// forward taint pass, which only needs "everything after this point may
-// not execute in this block"). Function literals are NOT descended
-// into: a closure body is its own flow graph and is built separately by
-// the caller.
+// fallthrough), select, labeled break/continue, return, and goto.
+// Goto edges are resolved to the labeled statement's block (forward or
+// backward), so a loop formed by a backward goto appears as a real
+// cycle in the graph — LoopBlocks sees it the same way it sees a for
+// loop. Function literals are NOT descended into: a closure body is
+// its own flow graph and is built separately by the caller.
 package cfg
 
 import (
@@ -90,6 +90,11 @@ type builder struct {
 	exit   *Block
 	// branch targets for break/continue, innermost last.
 	targets []target
+	// labels maps a label name to the block its labeled statement
+	// starts in. Entries are created on first mention — by the
+	// LabeledStmt itself or by a forward goto — so goto edges always
+	// have a concrete target block.
+	labels map[string]*Block
 }
 
 type target struct {
@@ -139,9 +144,13 @@ func (b *builder) stmt(cur *Block, s ast.Stmt, label string) *Block {
 		return b.stmtList(cur, s.List)
 
 	case *ast.LabeledStmt:
-		// The label belongs to the inner statement (loop/switch); plain
-		// labeled statements (goto targets) just pass through.
-		return b.stmt(cur, s.Stmt, s.Label.Name)
+		// The label belongs to the inner statement (loop/switch). The
+		// labeled statement also starts a fresh block so goto edges —
+		// including backward gotos that form loops — have a stable
+		// target.
+		blk := b.labelBlock(s.Label.Name)
+		b.edge(cur, blk)
+		return b.stmt(blk, s.Stmt, s.Label.Name)
 
 	case *ast.IfStmt:
 		if s.Init != nil {
@@ -304,9 +313,10 @@ func (b *builder) stmtListFallthrough(cur *Block, list []ast.Stmt, cases []*Bloc
 	return cur
 }
 
-// branch resolves break/continue/goto. Goto is over-approximated with
-// an edge to the exit block: the forward pass only relies on "control
-// leaves here", and no code in this repository uses goto loops.
+// branch resolves break/continue/goto. Goto edges go to the labeled
+// statement's block (created on demand for forward gotos), so a
+// backward goto produces a genuine cycle; a goto with no label (never
+// legal Go) degrades to an exit edge.
 func (b *builder) branch(cur *Block, s *ast.BranchStmt) *Block {
 	name := ""
 	if s.Label != nil {
@@ -322,11 +332,121 @@ func (b *builder) branch(cur *Block, s *ast.BranchStmt) *Block {
 			b.edge(cur, t.cont)
 		}
 	case "goto":
-		b.edge(cur, b.exit)
+		if name == "" {
+			b.edge(cur, b.exit)
+		} else {
+			b.edge(cur, b.labelBlock(name))
+		}
 	case "fallthrough":
 		// Handled by stmtListFallthrough; a stray one ends the block.
 	}
 	return nil
+}
+
+// labelBlock returns the block for the named label, creating it when
+// the label has not been seen yet (a forward goto mentions the label
+// before its statement is built).
+func (b *builder) labelBlock(name string) *Block {
+	if b.labels == nil {
+		b.labels = make(map[string]*Block)
+	}
+	blk, ok := b.labels[name]
+	if !ok {
+		blk = b.newBlock("label." + name)
+		b.labels[name] = blk
+	}
+	return blk
+}
+
+// LoopBlocks returns the set of blocks that lie on a cycle of the
+// graph: the bodies, headers and post blocks of for/range loops, and
+// any region a backward goto re-enters. A pass deciding "does this
+// node execute inside a loop" checks membership of the node's block.
+// The computation is Tarjan's SCC algorithm over blocks — a block is a
+// loop block iff its component has more than one member or it has a
+// self edge.
+func (g *Graph) LoopBlocks() map[*Block]bool {
+	n := len(g.Blocks)
+	index := make([]int, n)   // 0 = unvisited; otherwise order+1
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n) // component id per block; -1 = unassigned
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []int
+	counter := 0
+	comps := 0
+	compSize := make(map[int]int)
+
+	// Iterative Tarjan: a frame is (block, next-successor-to-visit).
+	type frame struct{ b, succ int }
+	for root := range g.Blocks {
+		if index[root] != 0 {
+			continue
+		}
+		work := []frame{{root, 0}}
+		counter++
+		index[root], lowlink[root] = counter, counter
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			b := g.Blocks[f.b]
+			if f.succ < len(b.Succs) {
+				s := b.Succs[f.succ].Index
+				f.succ++
+				if index[s] == 0 {
+					counter++
+					index[s], lowlink[s] = counter, counter
+					stack = append(stack, s)
+					onStack[s] = true
+					work = append(work, frame{s, 0})
+				} else if onStack[s] && index[s] < lowlink[f.b] {
+					lowlink[f.b] = index[s]
+				}
+				continue
+			}
+			// Frame done: pop, fold lowlink into the parent, and emit
+			// the component if this block is its root.
+			v := f.b
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].b
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = comps
+					compSize[comps]++
+					if w == v {
+						break
+					}
+				}
+				comps++
+			}
+		}
+	}
+
+	loops := make(map[*Block]bool)
+	for i, blk := range g.Blocks {
+		if compSize[comp[i]] > 1 {
+			loops[blk] = true
+			continue
+		}
+		for _, s := range blk.Succs {
+			if s == blk {
+				loops[blk] = true
+				break
+			}
+		}
+	}
+	return loops
 }
 
 // find returns the innermost target matching the label; continue

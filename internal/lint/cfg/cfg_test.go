@@ -253,15 +253,122 @@ func TestNilBody(t *testing.T) {
 	}
 }
 
-func TestGotoEdgesToExit(t *testing.T) {
+func TestGotoForwardEdgesToLabel(t *testing.T) {
 	g := parse(t, `func f() {
 		x := 1
 		goto done
 	done:
 		_ = x
 	}`)
-	// Must not panic and the goto block must have a successor.
 	if nodeCount(g) < 1 {
 		t.Fatalf("goto graph lost nodes: %s", g)
+	}
+	// A forward goto must not create a cycle.
+	if loops := g.LoopBlocks(); len(loops) != 0 {
+		t.Fatalf("forward goto produced %d loop blocks: %s", len(loops), g)
+	}
+	// The label block must be reachable from the goto block.
+	var label *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "label.done" {
+			label = b
+		}
+	}
+	if label == nil || !reachable(g)[label] {
+		t.Fatalf("label block missing or unreachable: %s", g)
+	}
+}
+
+func TestGotoBackwardFormsLoop(t *testing.T) {
+	// A loop written with goto — invisible to AST for/range ancestry,
+	// but a genuine cycle the hot-path analyzers must classify as a
+	// loop.
+	g := parse(t, `func f(n int) {
+		i := 0
+	again:
+		i++
+		if i < n {
+			goto again
+		}
+	}`)
+	loops := g.LoopBlocks()
+	if len(loops) == 0 {
+		t.Fatalf("backward goto formed no loop: %s", g)
+	}
+	// The labeled block itself must be part of the cycle.
+	inCycle := false
+	for b := range loops {
+		if b.Kind == "label.again" {
+			inCycle = true
+		}
+	}
+	if !inCycle {
+		t.Fatalf("label.again not classified as a loop block: %s", g)
+	}
+}
+
+func TestLabeledContinueKeepsBackEdge(t *testing.T) {
+	// continue outer from the inner loop must edge to the outer loop's
+	// post block, keeping the outer cycle intact and both loop bodies
+	// classified as loop blocks.
+	g := parse(t, `func f(xs [][]int) int {
+		total := 0
+	outer:
+		for i := 0; i < len(xs); i++ {
+			for _, x := range xs[i] {
+				if x < 0 {
+					continue outer
+				}
+				total += x
+			}
+		}
+		return total
+	}`)
+	loops := g.LoopBlocks()
+	kinds := map[string]bool{}
+	for b := range loops {
+		kinds[b.Kind] = true
+	}
+	if !kinds["for.body"] || !kinds["range.body"] {
+		t.Fatalf("labeled continue broke loop classification (loop kinds %v): %s", kinds, g)
+	}
+	returns := 0
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns++
+			}
+		}
+	}
+	if returns != 1 {
+		t.Fatalf("return unreachable through labeled continue: %s", g)
+	}
+}
+
+func TestLoopBlocksStraightLine(t *testing.T) {
+	g := parse(t, `func f() { x := 1; _ = x }`)
+	if loops := g.LoopBlocks(); len(loops) != 0 {
+		t.Fatalf("straight-line code has %d loop blocks, want 0: %s", len(loops), g)
+	}
+}
+
+func TestLoopBlocksForAndAfter(t *testing.T) {
+	g := parse(t, `func f(n int) int {
+		s := 0
+		for i := 0; i < n; i++ {
+			s += i
+		}
+		return s
+	}`)
+	loops := g.LoopBlocks()
+	for b := range loops {
+		switch b.Kind {
+		case "for.head", "for.body", "for.post":
+		default:
+			t.Fatalf("non-loop block %q classified as loop: %s", b.Kind, g)
+		}
+	}
+	if len(loops) != 3 {
+		t.Fatalf("got %d loop blocks, want head+body+post: %s", len(loops), g)
 	}
 }

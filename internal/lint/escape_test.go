@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSrc parses and type-checks one source file and returns its
+// escape-engine sites per function name.
+func checkSrc(t *testing.T, src string) map[string][]AllocSite {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "escape_test_src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("type error in test source: %v", err)
+	}
+	out := make(map[string][]AllocSite)
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out[fd.Name.Name] = escapeSites(info, fset, fd.Body)
+		}
+	}
+	return out
+}
+
+// siteStrings renders sites as "class|what|loop" for compact
+// comparison; dispatch and defer bookkeeping sites are included so the
+// tests pin the full contract.
+func siteStrings(sites []AllocSite) []string {
+	var out []string
+	for _, s := range sites {
+		loop := "-"
+		if s.InLoop {
+			loop = "loop"
+		}
+		out = append(out, fmt.Sprintf("%s|%s|%s", s.Class, s.What, loop))
+	}
+	return out
+}
+
+// TestEscapeEngine pins the classification contract case by case:
+// every expected site must appear (substring match on what), with the
+// expected class and loop bit, and no unexpected allocation verdicts.
+func TestEscapeEngine(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   string
+		src  string
+		want []string // "class|what-substring|loop-or--"
+	}{
+		{
+			name: "sanitized append after explicit-cap make",
+			fn:   "F",
+			src: `package p
+func F(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}`,
+			// The make itself escapes by return; the appends are free.
+			want: []string{"heap|make|-", "alloc-free|append within proven capacity|loop"},
+		},
+		{
+			name: "two-arg make is no capacity plan",
+			fn:   "F",
+			src: `package p
+func F(xs []int) []int {
+	out := make([]int, 0)
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}`,
+			want: []string{"heap|make|-", "heap|append without a capacity proof|loop"},
+		},
+		{
+			name: "warm buffer reuse via [:0]",
+			fn:   "F",
+			src: `package p
+func F(buf, xs []int) []int {
+	buf = buf[:0]
+	for _, x := range xs {
+		buf = append(buf, x)
+	}
+	return buf
+}`,
+			want: []string{"alloc-free|append within proven capacity|loop"},
+		},
+		{
+			name: "plan does not transfer to another slice",
+			fn:   "F",
+			src: `package p
+func F(xs []int) []int {
+	planned := make([]int, 0, 8)
+	_ = planned
+	var other []int
+	for _, x := range xs {
+		other = append(other, x)
+	}
+	return other
+}`,
+			want: []string{"stack-plausible|make|-", "heap|append without a capacity proof|loop"},
+		},
+		{
+			name: "plan after the append does not dominate",
+			fn:   "F",
+			src: `package p
+func F(x int) []int {
+	var s []int
+	s = append(s, x)
+	s = make([]int, 0, 8)
+	return s
+}`,
+			want: []string{"heap|append without a capacity proof|-", "heap|make|-"},
+		},
+		{
+			name: "cold path exempts error formatting",
+			fn:   "F",
+			src: `package p
+import "fmt"
+func F(xs []int) (int, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("empty")
+	}
+	return xs[0], nil
+}`,
+			want: []string{"cold-path|fmt.Errorf|-"},
+		},
+		{
+			name: "non-escaping make is stack-plausible",
+			fn:   "F",
+			src: `package p
+func F() int {
+	tmp := make([]int, 8)
+	total := 0
+	for i := range tmp {
+		total += i
+	}
+	return total
+}`,
+			want: []string{"stack-plausible|make|-"},
+		},
+		{
+			name: "escape by return upgrades to heap",
+			fn:   "F",
+			src: `package p
+func F(n int) []byte {
+	buf := make([]byte, n)
+	return buf
+}`,
+			want: []string{"heap|make|-"},
+		},
+		{
+			name: "capture-free literal is not a closure allocation",
+			fn:   "F",
+			src: `package p
+func F() func(int) int {
+	f := func(x int) int { return x * 2 }
+	return f
+}`,
+			want: nil,
+		},
+		{
+			name: "capturing literal allocates",
+			fn:   "F",
+			src: `package p
+func F(n int) func() int {
+	i := 0
+	f := func() int { i++; return i + n }
+	return f
+}`,
+			want: []string{"heap|closure capturing locals|-"},
+		},
+		{
+			name: "boxing an int allocates, boxing a pointer does not",
+			fn:   "F",
+			src: `package p
+func F(x int, p *int) (any, any) {
+	var a any = x
+	var b any = p
+	return a, b
+}`,
+			want: []string{"heap|interface boxing of int|-"},
+		},
+		{
+			name: "defer and dispatch inside a goto loop carry the loop bit",
+			fn:   "F",
+			src: `package p
+type s interface{ Step() int }
+func F(v s, n int) int {
+	total := 0
+	i := 0
+again:
+	defer func() {}()
+	total += v.Step()
+	i++
+	if i < n {
+		goto again
+	}
+	return total
+}`,
+			want: []string{"alloc-free|defer|loop", "alloc-free|interface method call Step|loop"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sites := checkSrc(t, c.src)[c.fn]
+			got := siteStrings(sites)
+			if len(got) != len(c.want) {
+				t.Fatalf("got %d sites %v, want %d %v", len(got), got, len(c.want), c.want)
+			}
+			for i, w := range c.want {
+				parts := strings.SplitN(w, "|", 3)
+				gparts := strings.SplitN(got[i], "|", 3)
+				if gparts[0] != parts[0] || !strings.Contains(gparts[1], parts[1]) || gparts[2] != parts[2] {
+					t.Errorf("site %d = %q, want match %q", i, got[i], w)
+				}
+			}
+		})
+	}
+}
+
+// TestAllocatesSummary checks the fact-store fold over the hotalloc
+// fixture: a function whose only allocation is stack-plausible is not
+// "allocating", one that builds and returns a map is, and the verdict
+// propagates to its direct caller.
+func TestAllocatesSummary(t *testing.T) {
+	l := newFixtureLoader(t)
+	pkg := loadFixture(t, l, "hotalloc")
+	facts := NewFacts([]*Package{pkg})
+	lookup := func(name string) *types.Func {
+		fn, _ := pkg.Types.Scope().Lookup(name).(*types.Func)
+		if fn == nil {
+			t.Fatalf("function %s not found in fixture", name)
+		}
+		return fn
+	}
+	for name, want := range map[string]bool{
+		"helper":     true,  // builds and returns a map
+		"Driver":     true,  // allocates via helper
+		"StackLocal": false, // only a stack-plausible scratch slice
+	} {
+		alloc, known := facts.Allocates(lookup(name))
+		if !known {
+			t.Fatalf("%s: summary unknown", name)
+		}
+		if alloc != want {
+			t.Errorf("Allocates(%s) = %v, want %v", name, alloc, want)
+		}
+	}
+	if _, known := facts.Allocates(nil); known {
+		t.Error("Allocates(nil) claims knowledge")
+	}
+}

@@ -34,6 +34,20 @@ type Facts struct {
 	decls map[*types.Func]*declSite
 	fset  *token.FileSet
 	units unitIndex
+	// hotIdx and coldIdx merge //mlec:hot and //mlec:cold directive
+	// lines across packages; hot/cold/hotVia are the propagated
+	// hotness facts (see hot.go).
+	hotIdx  posIndex
+	coldIdx posIndex
+	hot     map[*types.Func]bool
+	cold    map[*types.Func]bool
+	hotVia  map[*types.Func]*types.Func
+	// allocates holds the per-function allocation summaries: whether a
+	// steady-state heap allocation is reachable through the function's
+	// own body or a direct callee (see escape.go), and siteCache the
+	// memoized escape-engine classification behind them.
+	allocates map[*types.Func]bool
+	siteCache map[*types.Func][]AllocSite
 
 	summaries map[*types.Func]*funcSummary
 	domains   map[*types.Func]*domainSummary
@@ -87,6 +101,9 @@ func NewFacts(pkgs []*Package) *Facts {
 	f := &Facts{
 		decls:     make(map[*types.Func]*declSite),
 		units:     make(unitIndex),
+		hotIdx:    make(posIndex),
+		coldIdx:   make(posIndex),
+		allocates: make(map[*types.Func]bool),
 		summaries: make(map[*types.Func]*funcSummary),
 		domains:   make(map[*types.Func]*domainSummary),
 		mayFail:   make(map[*types.Func]bool),
@@ -114,6 +131,12 @@ func NewFacts(pkgs []*Package) *Facts {
 		for file, lines := range p.units {
 			f.units[file] = lines
 		}
+		for file, lines := range p.hots {
+			f.hotIdx[file] = lines
+		}
+		for file, lines := range p.colds {
+			f.coldIdx[file] = lines
+		}
 	}
 	for _, p := range pkgs {
 		index(p)
@@ -128,7 +151,10 @@ func NewFacts(pkgs []*Package) *Facts {
 			}
 		}
 	}
-	f.computeAll(buildCallGraph(f.decls))
+	g := buildCallGraph(f.decls)
+	f.computeAll(g)
+	f.computeHot(g)
+	f.computeAllocates(g)
 	return f
 }
 

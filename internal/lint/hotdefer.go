@@ -1,0 +1,30 @@
+package lint
+
+// HotDefer flags defer statements inside loops of hot scope. A defer
+// in a loop cannot be open-coded: each iteration heap-allocates a
+// _defer record and chains it, and nothing runs until the function
+// returns — so the usual close-per-iteration intent is wrong twice
+// over (it leaks until return and it allocates per iteration). The
+// remedy is an explicit call at the end of the iteration, or an inner
+// function owning the defer.
+//
+// Loop membership comes from the CFG, so loops written with a
+// backward goto are classified too; a defer outside any loop is fine
+// and unreported even in hot scope.
+var HotDefer = &Analyzer{
+	Name: "hotdefer",
+	Doc:  "forbid defer statements inside loops on hot paths",
+	Run:  runHotDefer,
+}
+
+func runHotDefer(pass *Pass) error {
+	eachHotSite(pass, func(scope hotScope, s AllocSite) {
+		if s.kind != akDefer || !s.InLoop {
+			return
+		}
+		pass.Report(s.Node.Pos(),
+			"%s defers inside a hot loop (%s); each iteration allocates a defer record that only runs at return — call directly or wrap the iteration in a function",
+			scope.fd.Name.Name, scope.label)
+	})
+	return nil
+}

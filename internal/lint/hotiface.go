@@ -1,0 +1,49 @@
+package lint
+
+// HotIface owns the interface costs of hot paths:
+//
+//  1. Boxing — converting a concrete value into an interface
+//     (explicit T(x) conversions, assignments to interface-typed
+//     variables, arguments to interface-typed parameters) allocates
+//     unless the concrete type is pointer-shaped (pointer, chan, map,
+//     func), whose values ride the interface data word for free.
+//  2. Dispatch — an interface method call or a call through a
+//     function value inside a hot loop. No allocation, but the
+//     indirect call defeats inlining and reloads the itable every
+//     iteration, which is exactly the cost the gf256 kernels avoid by
+//     taking concrete slices.
+//
+// Boxing is reported anywhere in hot scope; dispatch only inside
+// loops, where the per-iteration cost accumulates. Cold-path boxing
+// (error formatting) is exempt, as everywhere in the family.
+var HotIface = &Analyzer{
+	Name: "hotiface",
+	Doc:  "forbid interface boxing on hot paths and dynamic dispatch in hot loops",
+	Run:  runHotIface,
+}
+
+func runHotIface(pass *Pass) error {
+	eachHotSite(pass, func(scope hotScope, s AllocSite) {
+		switch s.kind {
+		case akIfaceBox:
+			if s.Class != HeapAlloc {
+				return
+			}
+			where := "on the hot path"
+			if s.InLoop {
+				where = "in a hot loop"
+			}
+			pass.Report(s.Node.Pos(),
+				"%s %s performs %s (%s); keep the concrete type or use a pointer-shaped value",
+				scope.fd.Name.Name, where, s.What, scope.label)
+		case akDispatch:
+			if !s.InLoop {
+				return
+			}
+			pass.Report(s.Node.Pos(),
+				"%s has %s in a hot loop (%s); devirtualize to a concrete call or hoist the decision out of the loop",
+				scope.fd.Name.Name, s.What, scope.label)
+		}
+	})
+	return nil
+}

@@ -1,0 +1,40 @@
+package lint
+
+// HotPrealloc owns the append family on hot paths: an append with no
+// capacity proof may grow its backing array — a heap allocation plus
+// a copy, amortized but never free, and in a loop a repeated
+// reallocation cascade. The escape engine accepts two proofs
+// (escape.go, visitAppend):
+//
+//   - the appended slice was defined by an explicit-capacity make
+//     (make(T, len, cap)) earlier in the function — the author's
+//     reviewed capacity plan, making appends alloc-free after warmup;
+//   - the slice was re-sliced to s[:0] — the warm-buffer reuse
+//     pattern, which keeps the previous capacity.
+//
+// In both cases the append result must flow back into the same slice
+// variable (s = append(s, ...)); appending into a different variable
+// abandons the plan. Cold-path appends (error branches) are exempt.
+var HotPrealloc = &Analyzer{
+	Name: "hotprealloc",
+	Doc:  "require a capacity plan (explicit-cap make or [:0] reuse) for appends on hot paths",
+	Run:  runHotPrealloc,
+}
+
+func runHotPrealloc(pass *Pass) error {
+	eachHotSite(pass, func(scope hotScope, s AllocSite) {
+		if s.kind != akAppend || s.Class != HeapAlloc {
+			return
+		}
+		if s.InLoop {
+			pass.Report(s.Node.Pos(),
+				"%s appends in a hot loop without a capacity plan (%s); preallocate with make(T, 0, n) before the loop or reuse a buffer via s = s[:0]",
+				scope.fd.Name.Name, scope.label)
+			return
+		}
+		pass.Report(s.Node.Pos(),
+			"%s appends on the hot path without a capacity plan (%s); preallocate with an explicit-capacity make",
+			scope.fd.Name.Name, scope.label)
+	})
+	return nil
+}

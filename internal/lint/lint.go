@@ -145,6 +145,10 @@ func All() []*Analyzer {
 		ProbMix,
 		Cancel,
 		ErrFlow,
+		HotAlloc,
+		HotIface,
+		HotDefer,
+		HotPrealloc,
 	}
 }
 

@@ -158,6 +158,10 @@ func TestAnalyzers(t *testing.T) {
 		{ProbMix, "probmix"},
 		{Cancel, "cancel"},
 		{ErrFlow, "errflow"},
+		{HotAlloc, "hotalloc"},
+		{HotIface, "hotiface"},
+		{HotDefer, "hotdefer"},
+		{HotPrealloc, "hotprealloc"},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -186,6 +190,20 @@ func TestMalformedUnitDirective(t *testing.T) {
 	pkg := loadFixture(t, l, "unitdirective")
 	if len(pkg.MalformedUnit) != 2 {
 		t.Fatalf("got %d malformed //mlec:unit directives, want 2", len(pkg.MalformedUnit))
+	}
+}
+
+// TestMalformedHotDirective checks the //mlec:hot anchoring rules: a
+// hot directive on a non-function declaration or anchored to nothing,
+// and a cold directive on a statement, are recorded as malformed —
+// while the valid annotations in the same file still seed hotness
+// propagation (the fixture's want comment proves the chain fires).
+func TestMalformedHotDirective(t *testing.T) {
+	l := newFixtureLoader(t)
+	runFixture(t, l, HotAlloc, "hotdirective")
+	pkg := loadFixture(t, l, "hotdirective")
+	if len(pkg.MalformedHot) != 3 {
+		t.Fatalf("got %d malformed hot/cold directives, want 3: %v", len(pkg.MalformedHot), pkg.MalformedHot)
 	}
 }
 

@@ -36,12 +36,23 @@ type Package struct {
 	// units maps filename → line → domain declared at that line by
 	// //mlec:unit directives (see domain.go).
 	units map[string]map[int]Domain
+	// hots and colds map filename → line of //mlec:hot and //mlec:cold
+	// directives (see hot.go for the attachment and propagation rules).
+	hots  map[string]map[int]bool
+	colds map[string]map[int]bool
 	// Malformed records //lint:allow directives missing the mandatory
 	// analyzer name or reason; the driver reports them.
 	Malformed []token.Position
 	// MalformedUnit records //mlec:unit directives naming no (or an
 	// unknown) domain; the driver reports them.
 	MalformedUnit []token.Position
+	// MalformedHot records //mlec:hot / //mlec:cold directives that
+	// attach to nothing: hot must sit on (or directly above) a function
+	// declaration or a statement, cold on a function declaration. A
+	// dangling annotation is the silent failure mode of an enforcement
+	// layer — the author believes a kernel is guarded when nothing is —
+	// so it is reported rather than ignored.
+	MalformedHot []token.Position
 }
 
 // allowed reports whether a diagnostic from the named analyzer at pos is
@@ -282,6 +293,7 @@ func (l *Loader) loadPath(path string) (*Package, error) {
 		loader: l,
 	}
 	pkg.collectAllows()
+	pkg.validateHotDirectives()
 	l.pkgs[path] = pkg
 	return pkg, nil
 }
@@ -363,14 +375,30 @@ func parseAllowDirective(text string) (analyzer string, isDirective, ok bool) {
 	return fields[0], true, true
 }
 
-// collectAllows indexes //lint:allow and //mlec:unit directives by file
-// and line.
+// collectAllows indexes //lint:allow, //mlec:unit and //mlec:hot /
+// //mlec:cold directives by file and line.
 func (p *Package) collectAllows() {
 	p.allows = make(map[string]map[int]map[string]bool)
 	p.units = make(map[string]map[int]Domain)
+	p.hots = make(map[string]map[int]bool)
+	p.colds = make(map[string]map[int]bool)
 	for _, f := range p.Files {
 		for _, group := range f.Comments {
 			for _, c := range group.List {
+				if kind, isHot := parseHotDirective(c.Text); isHot {
+					pos := p.Fset.Position(c.Pos())
+					byLine := p.hots
+					if kind == "cold" {
+						byLine = p.colds
+					}
+					lines := byLine[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]bool)
+						byLine[pos.Filename] = lines
+					}
+					lines[pos.Line] = true
+					continue
+				}
 				if d, isUnit, ok := parseUnitDirective(c.Text); isUnit {
 					pos := p.Fset.Position(c.Pos())
 					if !ok {

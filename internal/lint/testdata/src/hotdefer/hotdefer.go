@@ -1,0 +1,53 @@
+// Package hotdefer exercises the hotdefer analyzer: defer statements
+// inside loops of hot scope, including loops formed by a backward
+// goto that AST-level for/range ancestry cannot see.
+package hotdefer
+
+import "sync"
+
+// LockPerItem defers an unlock per iteration: allocates a defer
+// record every pass and holds every lock until return.
+//
+//mlec:hot
+func LockPerItem(mu *sync.Mutex, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		mu.Lock()
+		defer mu.Unlock() // want `defers inside a hot loop`
+		total += x
+	}
+	return total
+}
+
+// DeferOnce is the normal pattern: one defer, outside any loop.
+//
+//mlec:hot
+func DeferOnce(mu *sync.Mutex) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}
+
+func cleanup(int) {}
+
+// GotoLoop hides its loop behind a backward goto; the CFG-based loop
+// classification must still see the cycle.
+//
+//mlec:hot
+func GotoLoop(n int) {
+	i := 0
+again:
+	defer cleanup(i) // want `defers inside a hot loop`
+	i++
+	if i < n {
+		goto again
+	}
+}
+
+// NotHot defers in a loop without any annotation: out of scope.
+func NotHot(mu *sync.Mutex, xs []int) {
+	for range xs {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+}

@@ -157,9 +157,11 @@ func (dr *driver) resetPool() {
 // events. It returns true when the run completed and false when it was
 // cut short by cancellation; either way the engine clock ends at the
 // last fired event (or horizon on completion).
+//mlec:hot pool event loop; drains millions of events per trajectory
 func (dr *driver) runPolled(ctx context.Context, horizon float64) bool {
 	const pollEvery = 1024
 	for i := 0; ; i++ {
+		//lint:allow hotiface context poll is amortized to one dispatch per 1024 events
 		if i%pollEvery == 0 && ctx.Err() != nil {
 			return false
 		}

@@ -116,6 +116,8 @@ func (c *Codec) checkShards(shards [][]byte, wantAll bool) (int, error) {
 // Encode computes the p parity shards from the k data shards in place:
 // shards[0:k] are inputs, shards[k:k+p] are outputs (must be allocated to
 // the same length as the data shards).
+//
+//mlec:hot steady-state encode path; zero allocations per call
 func (c *Codec) Encode(shards [][]byte) error {
 	size, err := c.checkShards(shards, true)
 	if err != nil {
@@ -206,6 +208,7 @@ func (c *Codec) reconstruct(shards [][]byte, dataOnly bool) error {
 			}
 			out := make([]byte, size)
 			row := c.enc.Row(c.k + pi)
+			//mlec:hot parity rebuild inner loop
 			for di := 0; di < c.k; di++ {
 				gf256.MulAddSlice(row[di], shards[di], out)
 			}
@@ -231,6 +234,7 @@ func (c *Codec) reconstruct(shards [][]byte, dataOnly bool) error {
 		}
 		out := make([]byte, size)
 		row := dec.Row(dj)
+		//mlec:hot data shard rebuild inner loop
 		for r, idx := range present {
 			gf256.MulAddSlice(row[r], shards[idx], out)
 		}
@@ -246,6 +250,7 @@ func (c *Codec) reconstruct(shards [][]byte, dataOnly bool) error {
 		}
 		out := make([]byte, size)
 		row := c.enc.Row(c.k + pi)
+		//mlec:hot parity rebuild inner loop
 		for di := 0; di < c.k; di++ {
 			gf256.MulAddSlice(row[di], shards[di], out)
 		}

@@ -61,6 +61,8 @@ func (e *Engine) Cancel(ev *Event) {
 }
 
 // Step fires the next event. It returns false when the queue is empty.
+//
+//mlec:hot event drain path; allocation belongs in Schedule, not here
 func (e *Engine) Step() bool {
 	if e.queue.Len() == 0 {
 		return false
@@ -74,6 +76,8 @@ func (e *Engine) Step() bool {
 
 // RunUntil fires events until the clock would pass `until` or the queue
 // drains; the clock is left at min(until, last event time ≥ now).
+//
+//mlec:hot event drain path
 func (e *Engine) RunUntil(until float64) {
 	for e.queue.Len() > 0 {
 		next := e.queue[0].time

@@ -303,13 +303,16 @@ func RunContext(ctx context.Context, cfg Config, years float64, seed int64) (Sta
 	task := obs.Progress.StartTask("syssim.run", 0)
 	defer task.Finish()
 	const pollEvery = 1024
+	//mlec:hot datacenter event loop; every simulated failure and repair drains through here
 	for i := 0; ; i++ {
 		if i%pollEvery == 0 {
 			// Poll-point observability: queue depth and simulated span.
 			// Reads of engine state here feed metrics only, never flow
 			// back into the simulation.
 			s.depthGauge.Set(int64(s.eng.Pending()))
+			//lint:allow hotalloc progress note renders once per 1024 events, amortized away
 			task.SetNote(fmt.Sprintf("simyears %.2f/%.2f", s.eng.Now()/failure.HoursPerYear, years))
+			//lint:allow hotiface context poll is amortized to one dispatch per 1024 events
 			if ctx.Err() != nil {
 				s.stats.Partial = true
 				s.stats.SimYears = s.eng.Now() / failure.HoursPerYear
