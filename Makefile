@@ -5,10 +5,10 @@ GO ?= go
 # Packages with worker pools / goroutine fan-out: the race-detector set.
 RACE_PKGS = ./internal/burst ./internal/poolsim ./internal/rs ./internal/syssim ./internal/cluster ./internal/runctl ./internal/obs
 
-.PHONY: check build vet lint test race stress bench bench-json fuzz obs-smoke
+.PHONY: check build vet lint test race stress bench bench-json fuzz obs-smoke chaos
 
 ## check: build + vet + mlecvet + tests + race tests — the CI gate.
-check: build vet lint test race stress obs-smoke
+check: build vet lint test race stress obs-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,18 @@ stress:
 obs-smoke:
 	$(GO) test -count=1 -run 'TestCLIInertness|TestEndpointServes' ./internal/obs
 
+## chaos: the deterministic fault-injection matrix (see
+## internal/faultinject). Builds mlecdur/mlecburst with -race and
+## asserts that fixed-seed campaigns with injected worker panics, torn
+## checkpoint writes, and a deliberately corrupted checkpoint
+## generation all converge to stdout byte-identical to the fault-free
+## run. CHAOS_REPORT collects per-case verdicts (the CI artifact).
+CHAOS_REPORT ?= chaos-report.txt
+chaos:
+	rm -f $(CHAOS_REPORT)
+	CHAOS_REPORT=$(abspath $(CHAOS_REPORT)) $(GO) test -count=1 -run 'TestChaos' ./internal/faultinject
+	@cat $(CHAOS_REPORT)
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
@@ -63,3 +75,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseAllowDirective -fuzztime=10s ./internal/lint
 	$(GO) test -run='^$$' -fuzz=FuzzTaintEngine -fuzztime=10s ./internal/lint
 	$(GO) test -run='^$$' -fuzz=FuzzEscapeEngine -fuzztime=10s ./internal/lint
+	$(GO) test -run='^$$' -fuzz=FuzzLoadCheckpoint -fuzztime=10s ./internal/runctl

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"mlec"
+	"mlec/internal/faultinject"
 	"mlec/internal/obs"
 	"mlec/internal/runctl"
 )
@@ -44,7 +45,9 @@ func main() {
 	pl := flag.Int("pl", 3, "local parity chunks")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none); partial results on expiry")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file for the Monte-Carlo campaign")
+	watchdog := flag.Duration("watchdog", 0, "stall watchdog interval (0 = off); warns when live workers stop progressing")
 	obsFlags := obs.BindCLIFlags(flag.CommandLine)
+	chaosFlags := faultinject.BindCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *trials <= 0 {
@@ -81,9 +84,15 @@ func main() {
 		fatalUsage("%v", err)
 	}
 	defer stopObs()
+	stopChaos, err := chaosFlags.Activate(os.Stderr)
+	if err != nil {
+		fatalUsage("%v", err)
+	}
+	defer stopChaos()
 
 	ctx, stop := runctl.CLIContext(*timeout)
 	defer stop()
+	defer runctl.StartWatchdog(*watchdog, os.Stderr)()
 
 	params := mlec.Params{KN: *kn, PN: *pn, KL: *kl, PL: *pl}
 	r, err := mlec.BurstPDLContext(ctx, mlec.DefaultTopology(), params, scheme, *x, *y, *trials, *seed, *checkpoint)

@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"mlec"
+	"mlec/internal/faultinject"
 	"mlec/internal/obs"
 	"mlec/internal/runctl"
 )
@@ -45,7 +46,9 @@ func main() {
 	pl := flag.Int("pl", 3, "local parity chunks")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none); partial results on expiry")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file for the splitting campaign (with -sim)")
+	watchdog := flag.Duration("watchdog", 0, "stall watchdog interval (0 = off); warns when live workers stop progressing")
 	obsFlags := obs.BindCLIFlags(flag.CommandLine)
+	chaosFlags := faultinject.BindCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *trajectories <= 0 {
@@ -77,9 +80,15 @@ func main() {
 		fatalUsage("%v", err)
 	}
 	defer stopObs()
+	stopChaos, err := chaosFlags.Activate(os.Stderr)
+	if err != nil {
+		fatalUsage("%v", err)
+	}
+	defer stopChaos()
 
 	ctx, stop := runctl.CLIContext(*timeout)
 	defer stop()
+	defer runctl.StartWatchdog(*watchdog, os.Stderr)()
 
 	params := mlec.Params{KN: *kn, PN: *pn, KL: *kl, PL: *pl}
 	ests, err := mlec.EstimateDurabilityContext(ctx, mlec.DefaultTopology(), params, scheme, mlec.DurabilityOptions{

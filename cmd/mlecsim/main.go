@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"mlec"
+	"mlec/internal/faultinject"
 	"mlec/internal/obs"
 	"mlec/internal/runctl"
 )
@@ -42,7 +43,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of ASCII heatmaps (fig5/fig13/fig16)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none); partial renders on expiry")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory for resumable Monte-Carlo experiments")
+	watchdog := flag.Duration("watchdog", 0, "stall watchdog interval (0 = off); warns when live workers stop progressing")
 	obsFlags := obs.BindCLIFlags(flag.CommandLine)
+	chaosFlags := faultinject.BindCLIFlags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
 
@@ -80,9 +83,16 @@ func main() {
 		os.Exit(2)
 	}
 	defer stopObs()
+	stopChaos, err := chaosFlags.Activate(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlecsim: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopChaos()
 
 	ctx, stop := runctl.CLIContext(*timeout)
 	defer stop()
+	defer runctl.StartWatchdog(*watchdog, os.Stderr)()
 
 	opts := mlec.ExperimentOptions{
 		Quick: *quick, Seed: *seed, AFR: *afr, CSV: *csv, CheckpointDir: *checkpoint,

@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mlec/internal/faultinject"
 	"mlec/internal/mathx"
 	"mlec/internal/mathx/rngsplit"
 	"mlec/internal/obs"
@@ -285,6 +286,12 @@ func PDLContext(ctx context.Context, ev Evaluator, x, y, trials int, seed int64,
 			pool.Go(stream, func(ctx context.Context) error {
 				if ctx.Err() != nil {
 					return nil // drain: this batch replays on resume
+				}
+				// Chaos hook: a faulted batch re-runs from the same
+				// stream and rewrites the same checkpoint slots, so a
+				// healed round is byte-identical to a clean one.
+				if err := faultinject.Fire("burst.batch", stream); err != nil {
+					return err
 				}
 				rng := rand.New(rand.NewSource(stream))
 				lo := b * pdlBatchTrials

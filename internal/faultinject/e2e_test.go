@@ -1,0 +1,210 @@
+// End-to-end proof of the self-healing determinism contract (the chaos
+// CI matrix; make chaos runs exactly these tests):
+//
+//  1. A fixed-seed campaign with injected worker panics (≥10% of worker
+//     streams) and an injected checkpoint-write failure produces stdout
+//     byte-identical to the fault-free run — every fault healed by
+//     stream re-runs and save retries, none visible in the results.
+//  2. A campaign resumed after its newest checkpoint is deliberately
+//     corrupted falls back to the previous generation, loudly, and
+//     still converges to the byte-identical result.
+//
+// The binaries are built with -race so the healing paths are exercised
+// under the race detector. With CHAOS_REPORT set, each case appends a
+// verdict line to that file (the CI artifact).
+package faultinject_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func chaosRepoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+var (
+	chaosBuildOnce sync.Once
+	chaosBuildDir  string
+	chaosBuildErr  error
+)
+
+// buildRaceBinaries compiles mlecdur and mlecburst with -race once per
+// test process.
+func buildRaceBinaries(t *testing.T) string {
+	t.Helper()
+	chaosBuildOnce.Do(func() {
+		root := chaosRepoRoot(t)
+		chaosBuildDir, chaosBuildErr = os.MkdirTemp("", "chaos-e2e-*")
+		if chaosBuildErr != nil {
+			return
+		}
+		for _, name := range []string{"mlecdur", "mlecburst"} {
+			cmd := exec.Command("go", "build", "-race", "-o", filepath.Join(chaosBuildDir, name), "./cmd/"+name)
+			cmd.Dir = root
+			if out, err := cmd.CombinedOutput(); err != nil {
+				chaosBuildErr = fmt.Errorf("building %s -race: %v\n%s", name, err, out)
+				return
+			}
+		}
+	})
+	if chaosBuildErr != nil {
+		t.Fatal(chaosBuildErr)
+	}
+	return chaosBuildDir
+}
+
+func runChaosBinary(t *testing.T, bin string, args ...string) (stdout, stderr []byte) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr:\n%s", filepath.Base(bin), args, err, errb.String())
+	}
+	return out.Bytes(), errb.Bytes()
+}
+
+var chaosReportMu sync.Mutex
+
+// reportChaos appends one verdict line to $CHAOS_REPORT, the artifact
+// the chaos CI job uploads.
+func reportChaos(t *testing.T, format string, args ...any) {
+	t.Helper()
+	path := os.Getenv("CHAOS_REPORT")
+	if path == "" {
+		return
+	}
+	chaosReportMu.Lock()
+	defer chaosReportMu.Unlock()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Logf("CHAOS_REPORT: %v", err)
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, format+"\n", args...)
+}
+
+// TestChaosMatrixByteIdentity runs the fault matrix: each case runs a
+// campaign fault-free, then again with the chaos plan armed, and the
+// two stdouts must match byte for byte.
+func TestChaosMatrixByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs -race binaries")
+	}
+	bins := buildRaceBinaries(t)
+	cases := []struct {
+		name       string
+		bin        string
+		args       []string
+		chaos      string
+		checkpoint string // flag name when the case needs a checkpoint path
+	}{
+		{
+			// ≥10% of splitting worker streams panic on first attempt,
+			// and the first checkpoint write attempt fails mid-stream.
+			name:       "mlecdur_worker_panics_and_ckpt_writeerr",
+			bin:        "mlecdur",
+			args:       []string{"-scheme", "D/D", "-sim", "-trajectories", "600", "-seed", "7"},
+			chaos:      "poolsim.worker:panic:p=0.25;runctl.checkpoint.write:writeerr:nth=1,bytes=8;seed=11",
+			checkpoint: "-checkpoint",
+		},
+		{
+			name:       "mlecburst_batch_panics_and_ckpt_writeerr",
+			bin:        "mlecburst",
+			args:       []string{"-scheme", "D/D", "-x", "3", "-y", "40", "-trials", "2000", "-seed", "5"},
+			chaos:      "burst.batch:panic:p=0.15;runctl.checkpoint.write:writeerr:nth=1;seed=13",
+			checkpoint: "-checkpoint",
+		},
+		{
+			// Injected worker errors (not panics) heal the same way.
+			name:  "mlecdur_worker_errors",
+			bin:   "mlecdur",
+			args:  []string{"-scheme", "C/D", "-sim", "-trajectories", "600", "-seed", "9"},
+			chaos: "poolsim.worker:error:p=0.2;seed=17",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bin := filepath.Join(bins, tc.bin)
+			cleanArgs := append([]string(nil), tc.args...)
+			if tc.checkpoint != "" {
+				cleanArgs = append(cleanArgs, tc.checkpoint, filepath.Join(t.TempDir(), "clean.ckpt"))
+			}
+			clean, _ := runChaosBinary(t, bin, cleanArgs...)
+
+			chaosArgs := append([]string(nil), tc.args...)
+			if tc.checkpoint != "" {
+				chaosArgs = append(chaosArgs, tc.checkpoint, filepath.Join(t.TempDir(), "chaos.ckpt"))
+			}
+			chaosArgs = append(chaosArgs, "-chaos", tc.chaos)
+			healed, stderrOut := runChaosBinary(t, bin, chaosArgs...)
+
+			if !bytes.Equal(clean, healed) {
+				reportChaos(t, "FAIL %s: healed stdout diverged from fault-free run", tc.name)
+				t.Fatalf("healed chaos run diverged from the fault-free run.\nclean:\n%s\nchaos:\n%s\nstderr:\n%s",
+					clean, healed, stderrOut)
+			}
+			if !bytes.Contains(stderrOut, []byte("chaos:")) {
+				t.Errorf("chaos announcement missing from stderr:\n%s", stderrOut)
+			}
+			reportChaos(t, "PASS %s: %s %v under %q byte-identical to fault-free run",
+				tc.name, tc.bin, tc.args, tc.chaos)
+		})
+	}
+}
+
+// TestChaosCheckpointCorruptionFallback corrupts the newest checkpoint
+// generation of a finished campaign and re-runs the identical command:
+// the resume must fall back to the previous generation, loudly, re-run
+// the lost tail, and converge to the byte-identical result.
+func TestChaosCheckpointCorruptionFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs -race binaries")
+	}
+	bins := buildRaceBinaries(t)
+	bin := filepath.Join(bins, "mlecdur")
+	ckpt := filepath.Join(t.TempDir(), "dur.ckpt")
+	args := []string{"-scheme", "D/D", "-sim", "-trajectories", "600", "-seed", "7", "-checkpoint", ckpt}
+
+	baseline, _ := runChaosBinary(t, bin, args...)
+	prev := ckpt + ".1"
+	if _, err := os.Stat(prev); err != nil {
+		t.Fatalf("campaign with multiple checkpoint saves left no previous generation: %v", err)
+	}
+
+	// Flip a byte in the middle of the newest generation; the gzip CRC
+	// turns that into a detected corruption on load.
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(ckpt, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, stderrOut := runChaosBinary(t, bin, args...)
+	if !bytes.Contains(stderrOut, []byte("resuming from previous generation")) {
+		reportChaos(t, "FAIL corruption_fallback: no fallback warning on stderr")
+		t.Fatalf("fallback warning missing from stderr:\n%s", stderrOut)
+	}
+	if !bytes.Equal(baseline, resumed) {
+		reportChaos(t, "FAIL corruption_fallback: resumed stdout diverged")
+		t.Fatalf("resume after corruption diverged from the uninterrupted run.\nbaseline:\n%s\nresumed:\n%s",
+			baseline, resumed)
+	}
+	reportChaos(t, "PASS corruption_fallback: corrupt newest generation healed via %s, byte-identical convergence", prev)
+}

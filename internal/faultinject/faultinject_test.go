@@ -1,0 +1,287 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+	"time"
+)
+
+// arm parses and enables spec for the duration of the test.
+func arm(t *testing.T, spec string) *Plan {
+	t.Helper()
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	Enable(p)
+	t.Cleanup(Disable)
+	return p
+}
+
+func TestParseGrammar(t *testing.T) {
+	good := []struct {
+		spec string
+		want func(t *testing.T, p *Plan)
+	}{
+		{"a.b:panic", func(t *testing.T, p *Plan) {
+			r := p.Rules()[0]
+			if r.Kind != KindPanic || r.Prob != 0 || r.Nth != 0 {
+				t.Errorf("rule = %+v", r)
+			}
+		}},
+		{"a.b:error:p=0.25,count=3;seed=42", func(t *testing.T, p *Plan) {
+			r := p.Rules()[0]
+			if r.Prob != 0.25 || r.Count != 3 || p.Seed != 42 {
+				t.Errorf("rule = %+v seed = %d", r, p.Seed)
+			}
+		}},
+		{"a:writeerr:nth=2,bytes=16; b:delay:ms=5", func(t *testing.T, p *Plan) {
+			rs := p.Rules()
+			if len(rs) != 2 {
+				t.Fatalf("rules = %+v", rs)
+			}
+			if rs[0].Nth != 2 || rs[0].Bytes != 16 {
+				t.Errorf("writeerr rule = %+v", rs[0])
+			}
+			if rs[1].Kind != KindDelay || rs[1].Delay != 5*time.Millisecond {
+				t.Errorf("delay rule = %+v", rs[1])
+			}
+		}},
+	}
+	for _, tc := range good {
+		p, err := Parse(tc.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.spec, err)
+			continue
+		}
+		tc.want(t, p)
+	}
+
+	bad := []string{
+		"a.b",                   // no kind
+		"a.b:explode",           // unknown kind
+		"a.b:panic:p=2",         // probability out of range
+		"a.b:panic:p=0.1,nth=3", // two triggers
+		"a.b:panic:wat",         // not key=value
+		"a.b:panic:zzz=1",       // unknown parameter
+		"seed=x",                // bad seed
+		"a:panic;a:error",       // duplicate point
+		"seed=5",                // arms no rules
+		":panic",                // empty point
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", spec)
+		}
+	}
+
+	// Empty spec: disabled, not an error.
+	if p, err := Parse("  "); err != nil || p != nil {
+		t.Errorf("Parse(empty) = %v, %v; want nil, nil", p, err)
+	}
+}
+
+func TestFireDisabledIsInert(t *testing.T) {
+	Disable()
+	if err := Fire("any.point", 7); err != nil {
+		t.Fatalf("disabled Fire returned %v", err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := Fire("any.point", 7); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("disabled Fire allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestNthTrigger(t *testing.T) {
+	arm(t, "pt:error:nth=3")
+	for hit := 1; hit <= 5; hit++ {
+		err := Fire("pt", 0)
+		if (hit == 3) != (err != nil) {
+			t.Errorf("hit %d: err = %v", hit, err)
+		}
+		if err != nil {
+			var ie *InjectedError
+			if !errors.As(err, &ie) || ie.Point != "pt" || ie.Kind != KindError {
+				t.Errorf("hit %d: error %v is not a typed injection", hit, err)
+			}
+		}
+	}
+}
+
+func TestEveryAndCount(t *testing.T) {
+	arm(t, "pt:error:every=2,count=2")
+	var fires []int
+	for hit := 1; hit <= 10; hit++ {
+		if Fire("pt", 0) != nil {
+			fires = append(fires, hit)
+		}
+	}
+	if len(fires) != 2 || fires[0] != 2 || fires[1] != 4 {
+		t.Errorf("fires at hits %v, want [2 4]", fires)
+	}
+}
+
+// TestProbDeterminismAndOncePerStream pins the two properties the
+// self-healing determinism argument rests on: the cursed-stream set is
+// a pure function of (seed, point, stream), and a cursed stream fires
+// only on its first hit, so its retry runs clean.
+func TestProbDeterminismAndOncePerStream(t *testing.T) {
+	const spec = "pt:error:p=0.3;seed=9"
+	cursed := func() map[int64]bool {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Enable(p)
+		defer Disable()
+		out := map[int64]bool{}
+		for s := int64(0); s < 2000; s++ {
+			if Fire("pt", s) != nil {
+				out[s] = true
+			}
+		}
+		return out
+	}
+	a, b := cursed(), cursed()
+	if len(a) == 0 {
+		t.Fatal("p=0.3 cursed no streams out of 2000")
+	}
+	frac := float64(len(a)) / 2000
+	if frac < 0.2 || frac > 0.4 {
+		t.Errorf("cursed fraction %.3f far from p=0.3", frac)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("two identical plans cursed %d vs %d streams", len(a), len(b))
+	}
+	for s := range a {
+		if !b[s] {
+			t.Fatalf("stream %d cursed in one run but not the other", s)
+		}
+	}
+
+	// Second hit of a cursed stream must not fire (the retry is clean).
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(p)
+	defer Disable()
+	var s0 int64 = -1
+	for s := range a {
+		s0 = s
+		break
+	}
+	if Fire("pt", s0) == nil {
+		t.Fatalf("stream %d: first hit did not fire", s0)
+	}
+	for retry := 0; retry < 3; retry++ {
+		if err := Fire("pt", s0); err != nil {
+			t.Fatalf("stream %d retry %d fired again: %v", s0, retry, err)
+		}
+	}
+}
+
+func TestPanicKindPanicsTyped(t *testing.T) {
+	arm(t, "pt:panic:nth=1")
+	defer func() {
+		r := recover()
+		ie, ok := r.(*InjectedError)
+		if !ok || ie.Kind != KindPanic || ie.Stream != 11 {
+			t.Errorf("recovered %v, want *InjectedError{KindPanic, stream 11}", r)
+		}
+	}()
+	_ = Fire("pt", 11)
+	t.Fatal("Fire did not panic")
+}
+
+func TestWriterPartialAndFailedWrites(t *testing.T) {
+	arm(t, "wp:writeerr:nth=1,bytes=4")
+	var sink bytes.Buffer
+	w := Writer("wp", 0, &sink)
+	n, err := w.Write([]byte("abcdefgh"))
+	if n != 4 || err == nil {
+		t.Fatalf("torn write: n=%d err=%v, want 4 bytes then an error", n, err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Kind != KindWriteError {
+		t.Fatalf("error %v is not a typed write injection", err)
+	}
+	if sink.String() != "abcd" {
+		t.Fatalf("sink holds %q, want the partial prefix", sink.String())
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("writer recovered after injected failure")
+	}
+
+	// nth=1 already consumed: the next Writer call passes through.
+	var clean bytes.Buffer
+	w2 := Writer("wp", 0, &clean)
+	if n, err := w2.Write([]byte("ok")); n != 2 || err != nil {
+		t.Fatalf("second writer faulted: n=%d err=%v", n, err)
+	}
+	if _, isFaulty := w2.(*faultyWriter); isFaulty {
+		t.Fatal("untriggered Writer returned a faulty writer")
+	}
+
+	// Fire never serves writeerr rules.
+	if err := Fire("wp", 0); err != nil {
+		t.Fatalf("Fire served a writeerr rule: %v", err)
+	}
+}
+
+func TestDelayKindSleepsAndReturnsNil(t *testing.T) {
+	arm(t, "dp:delay:nth=1,ms=1")
+	if err := Fire("dp", 0); err != nil {
+		t.Fatalf("delay returned %v", err)
+	}
+}
+
+func TestFlagsActivate(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := BindCLIFlags(fs)
+	if err := fs.Parse([]string{"-chaos", "pt:panic:p=0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	var errw bytes.Buffer
+	stop, err := f.Activate(&errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("Activate did not arm the plan")
+	}
+	if !strings.Contains(errw.String(), "chaos:") || !strings.Contains(errw.String(), "pt") {
+		t.Errorf("announcement missing from stderr: %q", errw.String())
+	}
+	stop()
+	if Enabled() {
+		t.Fatal("stop did not disarm the plan")
+	}
+
+	// Environment hook: the flag empty, MLEC_CHAOS set.
+	t.Setenv(EnvVar, "env.pt:error:nth=1")
+	f2 := &CLIFlags{}
+	stop2, err := f2.Activate(&errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop2()
+	if !Enabled() {
+		t.Fatal("MLEC_CHAOS did not arm the plan")
+	}
+	if err := Fire("env.pt", 0); err == nil {
+		t.Fatal("env-armed rule did not fire")
+	}
+
+	// A malformed spec is a usage error, not a silent no-op.
+	f3 := &CLIFlags{Spec: "broken"}
+	if _, err := f3.Activate(&errw); err == nil {
+		t.Fatal("Activate accepted a malformed spec")
+	}
+}

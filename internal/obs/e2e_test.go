@@ -83,11 +83,14 @@ func TestCLIInertness(t *testing.T) {
 	}
 	bins := buildBinaries(t)
 	cases := []struct {
-		bin  string
-		args []string
+		bin   string
+		args  []string
+		chaos string
 	}{
-		{"mlecdur", []string{"-scheme", "D/D", "-sim", "-trajectories", "1000", "-seed", "7"}},
-		{"mlecburst", []string{"-scheme", "D/D", "-x", "3", "-y", "40", "-trials", "3000", "-seed", "5"}},
+		{"mlecdur", []string{"-scheme", "D/D", "-sim", "-trajectories", "1000", "-seed", "7"},
+			"poolsim.worker:panic:p=0.2;seed=3"},
+		{"mlecburst", []string{"-scheme", "D/D", "-x", "3", "-y", "40", "-trials", "3000", "-seed", "5"},
+			"burst.batch:panic:p=0.2;seed=3"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.bin, func(t *testing.T) {
@@ -100,6 +103,20 @@ func TestCLIInertness(t *testing.T) {
 			if !bytes.Equal(plain, observed) {
 				t.Fatalf("observability changed a fixed-seed run's stdout.\nplain:\n%s\nobserved:\n%s",
 					plain, observed)
+			}
+			// Inertness extends to the fault-tolerance counters: a chaos
+			// run under full instrumentation — injected worker panics
+			// healed by stream retries, fault/retry counters ticking —
+			// must still print the fault-free run's bytes.
+			chaotic := append(append([]string(nil), tc.args...),
+				"-chaos", tc.chaos, "-obs", "127.0.0.1:0", "-progress", "25ms")
+			healed, chaosErr := runBinary(t, bin, chaotic...)
+			if !bytes.Equal(plain, healed) {
+				t.Fatalf("healed chaos run changed a fixed-seed run's stdout.\nplain:\n%s\nchaos:\n%s",
+					plain, healed)
+			}
+			if !strings.Contains(string(chaosErr), "chaos:") {
+				t.Errorf("chaos announcement missing from stderr:\n%s", chaosErr)
 			}
 			if !strings.Contains(string(stderrOut), "obs: serving metrics on http://") {
 				t.Errorf("endpoint announcement missing from stderr:\n%s", stderrOut)

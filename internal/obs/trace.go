@@ -22,6 +22,13 @@ const (
 	EvPoolHeal       = "pool_heal"       // a catastrophic pool fully re-protected
 	EvCheckpoint     = "checkpoint"      // a run-control checkpoint was saved
 	EvLevelPromotion = "level_promotion" // a splitting run advanced one level
+
+	// Fault-tolerance events (see internal/faultinject and the
+	// self-healing paths in internal/runctl).
+	EvFaultInjected      = "fault_injected"      // the chaos harness fired a rule
+	EvStreamRetry        = "stream_retry"        // a failed worker stream is being re-run
+	EvCheckpointFallback = "checkpoint_fallback" // a corrupt checkpoint fell back a generation
+	EvStall              = "stall"               // the watchdog saw live workers make no progress
 )
 
 // TraceEvent is one JSONL record of a simulated-time trace. Unused
@@ -154,7 +161,8 @@ func ParseTraceEvents(rd io.Reader) ([]TraceEvent, error) {
 		}
 		switch ev.Kind {
 		case EvFailure, EvRepairStart, EvRepairEnd, EvPoolCat, EvPoolHeal,
-			EvCheckpoint, EvLevelPromotion:
+			EvCheckpoint, EvLevelPromotion,
+			EvFaultInjected, EvStreamRetry, EvCheckpointFallback, EvStall:
 		default:
 			return nil, fmt.Errorf("trace: line %d: unknown event kind %q", lineNo, ev.Kind)
 		}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mlec/internal/failure"
+	"mlec/internal/faultinject"
 	"mlec/internal/obs"
 	"mlec/internal/runctl"
 	"mlec/internal/sim"
@@ -240,7 +241,15 @@ func SplitContext(ctx context.Context, cfg Config, ttf failure.Exponential, sc S
 				continue
 			}
 			level := level
-			pool.Go(trajSeed(sc.Seed, level, lo), func(ctx context.Context) error {
+			wstream := trajSeed(sc.Seed, level, lo)
+			pool.Go(wstream, func(ctx context.Context) error {
+				// Chaos hook: a fault here (panic or error) is healed by
+				// the pool re-running this worker from the same stream,
+				// recomputing identical slots — the injection point the
+				// chaos CI matrix drives.
+				if err := faultinject.Fire("poolsim.worker", wstream); err != nil {
+					return err
+				}
 				for i := lo; i < hi; i++ {
 					if ctx.Err() != nil {
 						return nil // drain: finish nothing new, keep what's done

@@ -5,16 +5,56 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"time"
 
+	"mlec/internal/faultinject"
 	"mlec/internal/obs"
 )
 
 // CheckpointVersion is the on-disk format version. Readers reject files
 // written by a different version rather than guessing.
 const CheckpointVersion = 1
+
+// Checkpoint save-retry policy: transient write failures (full disk
+// blips, injected faults) are retried with doubling, capped backoff
+// before the save is reported to the caller as failed.
+const (
+	checkpointSaveAttempts = 3
+	checkpointBackoffBase  = 10 * time.Millisecond
+	checkpointBackoffCap   = 100 * time.Millisecond
+)
+
+// PrevCheckpointPath returns the previous-good generation path for a
+// checkpoint at path: SaveCheckpoint rotates the newest file there
+// before committing a new one, and LoadCheckpoint falls back to it when
+// the newest file is corrupt.
+func PrevCheckpointPath(path string) string { return path + ".1" }
+
+// CorruptCheckpointError reports a checkpoint file that exists but
+// cannot be decoded — truncated or torn gzip stream, flipped bytes
+// (the gzip CRC catches them), zero-length file, or invalid JSON
+// inside. Generation 0 is the newest file, 1 the rotated previous-good
+// one. Corruption is recoverable (LoadCheckpoint falls back a
+// generation); version/kind/fingerprint mismatches are not of this
+// type, because a well-formed file for the wrong campaign must stay a
+// hard error.
+type CorruptCheckpointError struct {
+	Path       string // file that failed to decode
+	Generation int    // 0 = newest, 1 = previous-good
+	Cause      error  // underlying gzip/JSON/IO error
+}
+
+// Error implements error.
+func (e *CorruptCheckpointError) Error() string {
+	return fmt.Sprintf("runctl: checkpoint %s (generation %d) is corrupt: %v", e.Path, e.Generation, e.Cause)
+}
+
+// Unwrap exposes the underlying decode error to errors.Is/As.
+func (e *CorruptCheckpointError) Unwrap() error { return e.Cause }
 
 // checkpointEnvelope is the versioned container around an estimator's
 // payload. Kind names the producing estimator ("poolsim.split",
@@ -32,10 +72,15 @@ type checkpointEnvelope struct {
 	Payload     json.RawMessage  `json:"payload"`
 }
 
-// SaveCheckpoint atomically writes payload to path as a gzip-compressed
-// versioned envelope: the bytes land in a temp file in the same
-// directory first and are renamed into place, so an interrupted save
-// can never corrupt an existing checkpoint.
+// SaveCheckpoint durably writes payload to path as a gzip-compressed
+// versioned envelope. The write is atomic and generation-chained: the
+// bytes land in a temp file in the same directory, are fsynced, the
+// current checkpoint (if any) rotates to PrevCheckpointPath(path), and
+// the temp file renames into place — so an interrupted save can never
+// corrupt an existing checkpoint, and even a save that tears the
+// newest file after commit leaves a previous-good generation behind.
+// Transient write failures are retried with capped backoff (a fresh
+// temp file per attempt) before the error is returned.
 func SaveCheckpoint(path, kind, fingerprint string, payload any) error {
 	raw, err := json.Marshal(payload)
 	if err != nil {
@@ -55,24 +100,34 @@ func SaveCheckpoint(path, kind, fingerprint string, payload any) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("runctl: checkpoint directory: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("runctl: checkpoint temp file: %w", err)
+
+	var tmpName string
+	backoff := checkpointBackoffBase
+	for attempt := 1; ; attempt++ {
+		tmpName, err = writeCheckpointTemp(dir, path, env)
+		if err == nil {
+			break
+		}
+		if attempt >= checkpointSaveAttempts {
+			return fmt.Errorf("runctl: writing checkpoint %s (%d attempts): %w", path, attempt, err)
+		}
+		obs.Default.Counter("runctl_checkpoint_save_retries_total").Inc()
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > checkpointBackoffCap {
+			backoff = checkpointBackoffCap
+		}
 	}
-	zw := gzip.NewWriter(tmp)
-	_, werr := zw.Write(env)
-	if cerr := zw.Close(); werr == nil {
-		werr = cerr
+
+	// Rotate the current checkpoint to the previous-good slot before
+	// committing the new one. A crash between the two renames leaves
+	// only the rotated file — LoadCheckpoint handles that by falling
+	// back a generation.
+	if err := os.Rename(path, PrevCheckpointPath(path)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		os.Remove(tmpName)
+		return fmt.Errorf("runctl: rotating checkpoint %s: %w", path, err)
 	}
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runctl: writing checkpoint %s: %w", path, werr)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
 		return fmt.Errorf("runctl: committing checkpoint %s: %w", path, err)
 	}
 	obs.Default.Counter("runctl_checkpoint_saves_total").Inc()
@@ -83,49 +138,140 @@ func SaveCheckpoint(path, kind, fingerprint string, payload any) error {
 	return nil
 }
 
-// LoadCheckpoint reads a checkpoint written by SaveCheckpoint into
-// payload. It returns (false, nil) when no file exists at path — a
-// fresh start — and an error when the file exists but its version,
-// kind, or fingerprint does not match: resuming a checkpoint into a
-// different configuration would silently produce garbage statistics, so
-// the mismatch is loud.
-func LoadCheckpoint(path, kind, fingerprint string, payload any) (bool, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return false, nil
-	}
+// writeCheckpointTemp writes one fsynced temp file holding the gzipped
+// envelope and returns its name. The write path runs through the
+// "runctl.checkpoint.write" fault-injection point so chaos runs can
+// exercise torn and failed saves.
+func writeCheckpointTemp(dir, path string, env []byte) (string, error) {
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return false, fmt.Errorf("runctl: opening checkpoint %s: %w", path, err)
+		return "", fmt.Errorf("temp file: %w", err)
+	}
+	zw := gzip.NewWriter(faultinject.Writer("runctl.checkpoint.write", 0, tmp))
+	_, werr := zw.Write(env)
+	if cerr := zw.Close(); werr == nil {
+		werr = cerr
+	}
+	// Flush to stable storage before the caller renames over the live
+	// checkpoint: rename-before-fsync can commit an empty file on a
+	// crash, which is exactly the corruption this layer exists to avoid.
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return "", werr
+	}
+	return tmp.Name(), nil
+}
+
+// loadEnvelope reads and decodes one checkpoint generation. Decode
+// failures of any sort come back as *CorruptCheckpointError; a missing
+// file comes back as fs.ErrNotExist. The whole gzip stream is read
+// (not streamed into the JSON decoder) so the trailing CRC32 is
+// verified and a flipped byte anywhere in the file is detected.
+func loadEnvelope(path string, generation int) (*checkpointEnvelope, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("runctl: opening checkpoint %s: %w", path, err)
 	}
 	defer f.Close()
+	corrupt := func(cause error) error {
+		return &CorruptCheckpointError{Path: path, Generation: generation, Cause: cause}
+	}
 	zr, err := gzip.NewReader(f)
 	if err != nil {
-		return false, fmt.Errorf("runctl: checkpoint %s is not a runctl checkpoint: %w", path, err)
+		return nil, corrupt(err)
 	}
 	defer zr.Close()
-	var env checkpointEnvelope
-	if err := json.NewDecoder(zr).Decode(&env); err != nil {
-		return false, fmt.Errorf("runctl: decoding checkpoint %s: %w", path, err)
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, corrupt(err)
 	}
+	var env checkpointEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, corrupt(err)
+	}
+	return &env, nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint into
+// payload. It returns (false, nil) when no generation exists at path —
+// a fresh start. A corrupt newest file falls back loudly to the
+// previous-good generation (warning on stderr, fallback counter and
+// trace event) before giving up; re-running the work since the older
+// checkpoint is cheap next to losing the campaign. A file whose
+// version, kind, or fingerprint does not match stays a hard error with
+// no fallback: resuming a checkpoint into a different configuration
+// would silently produce garbage statistics, so the mismatch is loud
+// and the older generation — written by the same campaign, so equally
+// mismatched — is not consulted.
+func LoadCheckpoint(path, kind, fingerprint string, payload any) (bool, error) {
+	var firstErr error
+	for generation, p := range []string{path, PrevCheckpointPath(path)} {
+		env, err := loadEnvelope(p, generation)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			var ce *CorruptCheckpointError
+			if errors.As(err, &ce) {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			return false, err
+		}
+		if err := validateEnvelope(env, p, kind, fingerprint, payload); err != nil {
+			return false, err
+		}
+		if generation > 0 {
+			obs.Default.Counter("runctl_checkpoint_fallback_loads_total").Inc()
+			obs.Trace.Emit(obs.TraceEvent{
+				Kind: obs.EvCheckpointFallback,
+				Note: fmt.Sprintf("%s: fell back to generation %d", path, generation),
+			})
+			fmt.Fprintf(os.Stderr, "runctl: checkpoint %s unusable (%v); resuming from previous generation %s\n",
+				path, firstErr, p)
+		}
+		obs.Default.Counter("runctl_checkpoint_loads_total").Inc()
+		// Restore the saved counter snapshot so a resumed run reports
+		// cumulative totals. The merge floors each counter at its saved
+		// value (never lowers it), so a same-process resume — where the
+		// counters already advanced past the snapshot — is unaffected.
+		obs.Default.MergeCounters(env.Counters)
+		return true, nil
+	}
+	if firstErr != nil {
+		return false, firstErr
+	}
+	return false, nil
+}
+
+// validateEnvelope checks a decoded envelope against the campaign and
+// unmarshals its payload. All failures here are hard errors — the file
+// decoded fine, it just belongs to someone else or to another binary.
+func validateEnvelope(env *checkpointEnvelope, path, kind, fingerprint string, payload any) error {
 	if env.Version != CheckpointVersion {
-		return false, fmt.Errorf("runctl: checkpoint %s has version %d, this binary reads version %d",
+		return fmt.Errorf("runctl: checkpoint %s has version %d, this binary reads version %d",
 			path, env.Version, CheckpointVersion)
 	}
 	if env.Kind != kind {
-		return false, fmt.Errorf("runctl: checkpoint %s holds %q state, expected %q", path, env.Kind, kind)
+		return fmt.Errorf("runctl: checkpoint %s holds %q state, expected %q", path, env.Kind, kind)
 	}
 	if env.Fingerprint != fingerprint {
-		return false, fmt.Errorf("runctl: checkpoint %s was written for a different configuration/seed (fingerprint %q, expected %q)",
+		return fmt.Errorf("runctl: checkpoint %s was written for a different configuration/seed (fingerprint %q, expected %q)",
 			path, env.Fingerprint, fingerprint)
 	}
 	if err := json.Unmarshal(env.Payload, payload); err != nil {
-		return false, fmt.Errorf("runctl: decoding %s checkpoint payload: %w", kind, err)
+		return fmt.Errorf("runctl: decoding %s checkpoint payload: %w", kind, err)
 	}
-	obs.Default.Counter("runctl_checkpoint_loads_total").Inc()
-	// Restore the saved counter snapshot so a resumed run reports
-	// cumulative totals. The merge floors each counter at its saved
-	// value (never lowers it), so a same-process resume — where the
-	// counters already advanced past the snapshot — is unaffected.
-	obs.Default.MergeCounters(env.Counters)
-	return true, nil
+	return nil
 }

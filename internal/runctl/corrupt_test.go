@@ -1,0 +1,197 @@
+package runctl
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlec/internal/obs"
+)
+
+type corruptState struct {
+	Level int `json:"level"`
+}
+
+// saveValidCheckpoint writes one good generation and returns the raw
+// on-disk bytes for mutation.
+func saveValidCheckpoint(t *testing.T, path string) []byte {
+	t.Helper()
+	if err := SaveCheckpoint(path, "test.kind", "fp", corruptState{Level: 2}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestLoadCheckpointCorruptionTable walks the corruption taxonomy the
+// typed error exists for: every mutation must come back as a
+// *CorruptCheckpointError (never a panic, never a silent fresh start)
+// when no previous generation can absorb it.
+func TestLoadCheckpointCorruptionTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(valid []byte) []byte
+	}{
+		{"zero_length_file", func([]byte) []byte { return nil }},
+		{"truncated_gzip", func(v []byte) []byte { return v[:len(v)/2] }},
+		{"flipped_byte_in_body", func(v []byte) []byte {
+			m := bytes.Clone(v)
+			m[len(m)-12] ^= 0x40 // inside the deflate stream; CRC32 catches it
+			return m
+		}},
+		{"not_gzip_at_all", func([]byte) []byte { return []byte("not a checkpoint") }},
+		{"invalid_json_inside_gzip", func([]byte) []byte {
+			var buf bytes.Buffer
+			zw := gzip.NewWriter(&buf)
+			zw.Write([]byte("{invalid json"))
+			zw.Close()
+			return buf.Bytes()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "run.ckpt")
+			valid := saveValidCheckpoint(t, path)
+			if err := os.WriteFile(path, tc.mutate(valid), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out corruptState
+			_, err := LoadCheckpoint(path, "test.kind", "fp", &out)
+			var ce *CorruptCheckpointError
+			if !errors.As(err, &ce) {
+				t.Fatalf("LoadCheckpoint = %v, want *CorruptCheckpointError", err)
+			}
+			if ce.Generation != 0 || ce.Path != path || ce.Cause == nil {
+				t.Errorf("error fields = %+v", ce)
+			}
+			if !errors.Is(err, ce.Cause) {
+				t.Error("Unwrap does not expose the cause")
+			}
+		})
+	}
+}
+
+// TestLoadCheckpointGenerationFallback proves the recovery path: a
+// corrupt newest generation falls back to the rotated previous-good
+// one, ticks the fallback counter, and still refuses when both
+// generations are bad.
+func TestLoadCheckpointGenerationFallback(t *testing.T) {
+	fallbacks := obs.Default.Counter("runctl_checkpoint_fallback_loads_total")
+	f0 := fallbacks.Value()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+
+	if err := SaveCheckpoint(path, "test.kind", "fp", corruptState{Level: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(path, "test.kind", "fp", corruptState{Level: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the newest file; the rotated generation holds level 1.
+	if err := os.Truncate(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	var out corruptState
+	ok, err := LoadCheckpoint(path, "test.kind", "fp", &out)
+	if err != nil || !ok {
+		t.Fatalf("fallback load = %v, %v", ok, err)
+	}
+	if out.Level != 1 {
+		t.Errorf("fallback loaded level %d, want 1", out.Level)
+	}
+	if d := fallbacks.Value() - f0; d != 1 {
+		t.Errorf("runctl_checkpoint_fallback_loads_total advanced by %d, want 1", d)
+	}
+
+	// The crash-between-renames shape: only the rotated file exists.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = LoadCheckpoint(path, "test.kind", "fp", &out)
+	if err != nil || !ok || out.Level != 1 {
+		t.Fatalf("load with only the previous generation = %v, %v, level %d", ok, err, out.Level)
+	}
+
+	// Both generations corrupt: the newest file's error wins.
+	if err := os.WriteFile(path, []byte("junk0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(PrevCheckpointPath(path), []byte("junk1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadCheckpoint(path, "test.kind", "fp", &out)
+	var ce *CorruptCheckpointError
+	if !errors.As(err, &ce) || ce.Generation != 0 {
+		t.Fatalf("double corruption = %v, want generation-0 *CorruptCheckpointError", err)
+	}
+}
+
+// TestLoadCheckpointMismatchDoesNotFallBack: a well-formed checkpoint
+// for the wrong campaign is a hard error even when an older generation
+// exists — both were written by the same campaign, so consulting the
+// older one could only mask the configuration mistake.
+func TestLoadCheckpointMismatchDoesNotFallBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := SaveCheckpoint(path, "test.kind", "fp", corruptState{Level: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(path, "test.kind", "fp", corruptState{Level: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var out corruptState
+	if _, err := LoadCheckpoint(path, "test.kind", "other-fp", &out); err == nil {
+		t.Fatal("fingerprint mismatch slipped through via a generation")
+	}
+	var ce *CorruptCheckpointError
+	if _, err := LoadCheckpoint(path, "other.kind", "fp", &out); errors.As(err, &ce) || err == nil {
+		t.Fatalf("kind mismatch = %v, want a hard non-corruption error", err)
+	}
+}
+
+// FuzzLoadCheckpoint feeds mutated envelope bytes to the loader: any
+// byte soup may be rejected, none may panic. The corpus seeds a valid
+// checkpoint plus the corruption taxonomy.
+func FuzzLoadCheckpoint(f *testing.F) {
+	dir := f.TempDir()
+	seedPath := filepath.Join(dir, "seed.ckpt")
+	if err := SaveCheckpoint(seedPath, "test.kind", "fp", corruptState{Level: 3}); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("not a checkpoint"))
+	var gzJunk bytes.Buffer
+	zw := gzip.NewWriter(&gzJunk)
+	zw.Write([]byte(`{"version":1,"kind":"test.kind","fingerprint":"fp","payload":`))
+	zw.Close()
+	f.Add(gzJunk.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out corruptState
+		ok, err := LoadCheckpoint(path, "test.kind", "fp", &out)
+		if err != nil && ok {
+			t.Fatalf("LoadCheckpoint returned ok=true with err=%v", err)
+		}
+		if ok {
+			// Whatever loaded must round-trip as JSON state.
+			if _, err := json.Marshal(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

@@ -127,12 +127,32 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		t.Error("fingerprint mismatch accepted")
 	}
 
-	// A corrupt file is an error, not a fresh start.
+	// Two saves happened, so a previous-good generation exists:
+	// corrupting the newest file falls back to it (level 3, the
+	// first save) instead of failing the resume.
 	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadCheckpoint(path, "test.kind", "fp1", &out); err == nil {
-		t.Error("corrupt checkpoint accepted")
+	ok, err = LoadCheckpoint(path, "test.kind", "fp1", &out)
+	if err != nil || !ok {
+		t.Fatalf("LoadCheckpoint(corrupt newest, good previous) = %v, %v; want fallback", ok, err)
+	}
+	if out.Level != 3 {
+		t.Errorf("fallback loaded level %d, want 3 (the rotated generation)", out.Level)
+	}
+
+	// With no generation left to fall back to, corruption is a hard
+	// typed error, not a fresh start.
+	if err := os.Remove(PrevCheckpointPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadCheckpoint(path, "test.kind", "fp1", &out)
+	var ce *CorruptCheckpointError
+	if !errors.As(err, &ce) {
+		t.Fatalf("LoadCheckpoint(corrupt, no fallback) = %v, want *CorruptCheckpointError", err)
+	}
+	if ce.Path != path || ce.Generation != 0 || ce.Cause == nil {
+		t.Errorf("CorruptCheckpointError fields = %+v", ce)
 	}
 }
 

@@ -1,0 +1,221 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mlec/internal/faultinject"
+	"mlec/internal/obs"
+)
+
+// TestPoolRetriesFailedStream pins the self-healing contract: a worker
+// whose first attempts fail is re-run from the same stream id until it
+// succeeds or the attempt budget is spent, and only the final outcome
+// reaches Wait.
+func TestPoolRetriesFailedStream(t *testing.T) {
+	retries := obs.Default.Counter("runctl_stream_retries_total")
+	heals := obs.Default.Counter("runctl_stream_heals_total")
+	r0, h0 := retries.Value(), heals.Value()
+
+	var attempts atomic.Int64
+	p := NewPool(context.Background())
+	p.Go(55, func(context.Context) error {
+		if attempts.Add(1) < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait = %v after a heal, want nil", err)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Errorf("worker ran %d times, want 3", n)
+	}
+	if d := retries.Value() - r0; d != 2 {
+		t.Errorf("runctl_stream_retries_total advanced by %d, want 2", d)
+	}
+	if d := heals.Value() - h0; d != 1 {
+		t.Errorf("runctl_stream_heals_total advanced by %d, want 1", d)
+	}
+}
+
+// TestPoolRetriesPanickingStream proves panics heal the same way
+// returned errors do, and that exhausting the budget surfaces the last
+// failure as a typed *PanicError.
+func TestPoolRetriesPanickingStream(t *testing.T) {
+	var attempts atomic.Int64
+	p := NewPool(context.Background())
+	p.Go(66, func(context.Context) error {
+		if attempts.Add(1) == 1 {
+			panic("first attempt dies")
+		}
+		return nil
+	})
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait = %v, want the panicked stream healed on retry", err)
+	}
+	if n := attempts.Load(); n != 2 {
+		t.Errorf("worker ran %d times, want 2", n)
+	}
+
+	// Always-panicking stream: budget exhausts, the typed error survives.
+	attempts.Store(0)
+	p2 := NewPool(context.Background())
+	p2.SetAttempts(2)
+	p2.Go(67, func(context.Context) error {
+		attempts.Add(1)
+		panic("always dies")
+	})
+	err := p2.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Stream != 67 {
+		t.Fatalf("Wait = %v, want *PanicError on stream 67", err)
+	}
+	if n := attempts.Load(); n != 2 {
+		t.Errorf("worker ran %d times, want exactly the 2-attempt budget", n)
+	}
+}
+
+// TestPoolNoRetryAfterCancel pins "cancellation means stop, not heal":
+// a failure observed after the pool context is cancelled is recorded
+// without burning retries.
+func TestPoolNoRetryAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var attempts atomic.Int64
+	p := NewPool(ctx)
+	p.Go(5, func(context.Context) error {
+		attempts.Add(1)
+		return errors.New("failed during drain")
+	})
+	if err := p.Wait(); err == nil {
+		t.Fatal("drain failure vanished")
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Errorf("worker ran %d times after cancellation, want 1 (no retries)", n)
+	}
+}
+
+// TestPoolHealsInjectedFault closes the loop with the chaos harness:
+// a once-per-stream injected panic is healed by the pool's retry and
+// the campaign succeeds.
+func TestPoolHealsInjectedFault(t *testing.T) {
+	plan, err := faultinject.Parse("test.pool.worker:panic:nth=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(plan)
+	defer faultinject.Disable()
+
+	var runs atomic.Int64
+	p := NewPool(context.Background())
+	p.Go(9, func(context.Context) error {
+		runs.Add(1)
+		if err := faultinject.Fire("test.pool.worker", 9); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait = %v, want the injected panic healed", err)
+	}
+	if n := runs.Load(); n != 2 {
+		t.Errorf("worker ran %d times, want 2 (fault, then clean retry)", n)
+	}
+}
+
+// TestWatchdogTripsOnStall drives the watchdog directly: live workers
+// plus a frozen beat count must trip it; progress must not.
+func TestWatchdogTripsOnStall(t *testing.T) {
+	trips := obs.Default.Counter("runctl_stall_watchdog_trips_total")
+	t0 := trips.Value()
+	errw := &lockedBuf{} // the watchdog goroutine writes concurrently
+
+	release := make(chan struct{})
+	p := NewPool(context.Background())
+	p.Go(1, func(context.Context) error {
+		<-release // stalls: no Beat lands while blocked here
+		return nil
+	})
+
+	stop := StartWatchdog(5*time.Millisecond, errw)
+	deadline := time.Now().Add(5 * time.Second)
+	for trips.Value() == t0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	close(release)
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if trips.Value() == t0 {
+		t.Fatal("watchdog never tripped on a stalled worker")
+	}
+	if !strings.Contains(errw.String(), "no progress") {
+		t.Errorf("watchdog warning missing: %q", errw.String())
+	}
+
+	// Disabled watchdog is a no-op stop.
+	StartWatchdog(0, nil)()
+}
+
+// TestSaveCheckpointRetriesInjectedWriteFailure proves a torn first
+// write attempt is retried with a fresh temp file and the save still
+// lands, with the retry visible in the registry.
+func TestSaveCheckpointRetriesInjectedWriteFailure(t *testing.T) {
+	plan, err := faultinject.Parse("runctl.checkpoint.write:writeerr:nth=1,bytes=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(plan)
+	defer faultinject.Disable()
+
+	saveRetries := obs.Default.Counter("runctl_checkpoint_save_retries_total")
+	s0 := saveRetries.Value()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	type state struct{ N int }
+	if err := SaveCheckpoint(path, "test.kind", "fp", state{N: 7}); err != nil {
+		t.Fatalf("SaveCheckpoint under injected write failure = %v, want healed", err)
+	}
+	if d := saveRetries.Value() - s0; d != 1 {
+		t.Errorf("runctl_checkpoint_save_retries_total advanced by %d, want 1", d)
+	}
+	var out state
+	if ok, err := LoadCheckpoint(path, "test.kind", "fp", &out); err != nil || !ok || out.N != 7 {
+		t.Fatalf("reload after healed save: ok=%v err=%v out=%+v", ok, err, out)
+	}
+
+	// Leftover temp files would accumulate across campaigns.
+	tmps, err := filepath.Glob(filepath.Join(filepath.Dir(path), "*.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Errorf("failed attempts leaked temp files: %v", tmps)
+	}
+}
+
+// TestSaveCheckpointFailsAfterBudget: a write fault on every attempt
+// exhausts the retry budget and surfaces the injected error.
+func TestSaveCheckpointFailsAfterBudget(t *testing.T) {
+	plan, err := faultinject.Parse(fmt.Sprintf("runctl.checkpoint.write:writeerr:every=1,count=%d", checkpointSaveAttempts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(plan)
+	defer faultinject.Disable()
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	err = SaveCheckpoint(path, "test.kind", "fp", struct{ N int }{1})
+	var ie *faultinject.InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("SaveCheckpoint = %v, want the injected write error after budget", err)
+	}
+}

@@ -3,11 +3,20 @@ package runctl
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sync"
 	"syscall"
 	"time"
+)
+
+// exit and signalErrw are indirections over os.Exit / os.Stderr so the
+// double-interrupt path is testable in-process; production code never
+// reassigns them.
+var (
+	exit                 = os.Exit
+	signalErrw io.Writer = os.Stderr
 )
 
 // CLIContext builds the run context the cmd/ binaries share: an
@@ -32,15 +41,15 @@ func CLIContext(timeout time.Duration) (context.Context, context.CancelFunc) {
 	go func() {
 		select {
 		case sig := <-sigc:
-			fmt.Fprintf(os.Stderr, "\n%v: draining in-flight work (interrupt again to exit immediately)\n", sig)
+			fmt.Fprintf(signalErrw, "\n%v: draining in-flight work (interrupt again to exit immediately)\n", sig)
 			cancel()
 		case <-done:
 			return
 		}
 		select {
 		case <-sigc:
-			fmt.Fprintln(os.Stderr, "second interrupt: exiting immediately")
-			os.Exit(130)
+			fmt.Fprintln(signalErrw, "second interrupt: exiting immediately")
+			exit(130)
 		case <-done:
 		}
 	}()

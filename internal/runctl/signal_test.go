@@ -1,0 +1,126 @@
+package runctl
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// lockedBuf lets the signal-handler goroutine and the test write/read
+// concurrently without a race.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// hookSignals swaps the exit and stderr indirections for one test.
+func hookSignals(t *testing.T) (errw *lockedBuf, exited chan int) {
+	t.Helper()
+	errw = &lockedBuf{}
+	exited = make(chan int, 1)
+	oldExit, oldErrw := exit, signalErrw
+	exit = func(code int) {
+		exited <- code
+		// The real os.Exit never returns; park the handler goroutine
+		// until the test's stop() releases it via done.
+		select {}
+	}
+	signalErrw = errw
+	t.Cleanup(func() { exit, signalErrw = oldExit, oldErrw })
+	return errw, exited
+}
+
+// TestCLIContextFirstInterruptDrains delivers a real SIGINT to the
+// process and asserts the graceful path: the context cancels (engines
+// drain), the handler announces it, and the process does not exit.
+func TestCLIContextFirstInterruptDrains(t *testing.T) {
+	errw, exited := hookSignals(t)
+	ctx, stop := CLIContext(0)
+	defer stop()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case code := <-exited:
+		t.Fatalf("first interrupt exited with %d instead of draining", code)
+	case <-time.After(5 * time.Second):
+		t.Fatal("first interrupt never cancelled the context")
+	}
+	if msg := errw.String(); !strings.Contains(msg, "draining") {
+		t.Errorf("drain announcement missing from stderr: %q", msg)
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("process exited (%d) after a single interrupt", code)
+	default:
+	}
+}
+
+// TestCLIContextSecondInterruptExits covers the double-SIGINT path:
+// after the drain begins, a second interrupt must exit immediately
+// with status 130.
+func TestCLIContextSecondInterruptExits(t *testing.T) {
+	errw, exited := hookSignals(t)
+	ctx, stop := CLIContext(0)
+	defer stop()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first interrupt never cancelled the context")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exited:
+		if code != 130 {
+			t.Errorf("exit status %d, want 130", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second interrupt never exited")
+	}
+	if msg := errw.String(); !strings.Contains(msg, "second interrupt") {
+		t.Errorf("immediate-exit announcement missing from stderr: %q", msg)
+	}
+}
+
+// TestCLIContextStopReleasesHandler: after stop, signals flow to the
+// default disposition again and the handler goroutine is gone — a
+// SIGINT sent now must not touch the hooked exit (the test would die
+// if signal.Stop had not run, so we only verify via the hook).
+func TestCLIContextStopReleasesHandler(t *testing.T) {
+	_, exited := hookSignals(t)
+	_, stop := CLIContext(0)
+	stop()
+	stop() // idempotent
+	select {
+	case code := <-exited:
+		t.Fatalf("stopped handler exited with %d", code)
+	default:
+	}
+}
+
+var _ io.Writer = (*lockedBuf)(nil)

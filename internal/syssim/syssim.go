@@ -20,6 +20,7 @@ import (
 
 	"mlec/internal/bwmodel"
 	"mlec/internal/failure"
+	"mlec/internal/faultinject"
 	"mlec/internal/mathx/rngsplit"
 	"mlec/internal/obs"
 	"mlec/internal/placement"
@@ -317,6 +318,15 @@ func RunContext(ctx context.Context, cfg Config, years float64, seed int64) (Sta
 				s.stats.Partial = true
 				s.stats.SimYears = s.eng.Now() / failure.HoursPerYear
 				return s.stats, nil
+			}
+			// Chaos hook, amortized with the poll. syssim is
+			// single-threaded, so there is no pool to heal an injected
+			// fault: error kinds fail the run loudly (panic kinds kill
+			// it), which is exactly what a chaos probe of an unhealable
+			// engine should report.
+			//lint:allow hotiface chaos probe is amortized to one dispatch per 1024 events
+			if err := faultinject.Fire("syssim.events", cfg.Seed); err != nil {
+				return s.stats, fmt.Errorf("syssim: injected fault: %w", err)
 			}
 		}
 		next, ok := s.eng.NextTime()
