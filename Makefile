@@ -5,7 +5,7 @@ GO ?= go
 # Packages with worker pools / goroutine fan-out: the race-detector set.
 RACE_PKGS = ./internal/burst ./internal/poolsim ./internal/rs ./internal/syssim ./internal/cluster ./internal/runctl ./internal/obs
 
-.PHONY: check build vet lint test race stress bench bench-json fuzz obs-smoke chaos
+.PHONY: check build vet lint test race stress bench bench-json fuzz obs-smoke chaos oracle
 
 ## check: build + vet + mlecvet + tests + race tests — the CI gate.
 check: build vet lint test race stress obs-smoke chaos
@@ -22,6 +22,13 @@ vet:
 ## finish in 60s is itself a regression and exits 2.
 lint:
 	$(GO) run ./cmd/mlecvet -baseline lint/baseline.json -timeout 60s ./...
+
+## oracle: cross-check the hotbce/hotinline verdicts against the real
+## compiler (-d=ssa/check_bce and -m into a throwaway GOCACHE). Every
+## disagreement is printed and fails the target; CI uploads the list as
+## an artifact. Slow (~2 min): it rebuilds the whole module uncached.
+oracle:
+	$(GO) run ./cmd/mlecvet -compiler ./...
 
 test:
 	$(GO) test ./...
@@ -66,6 +73,11 @@ bench:
 LABEL ?= dev
 bench-json:
 	$(GO) run ./cmd/mlecbench -label $(LABEL) -out BENCH_gf256.json $(if $(APPEND),-append)
+
+## bench-compare: one throwaway run compared against the committed
+## baseline; warns on kernels that lost >20% GB/s, never fails.
+bench-compare:
+	$(GO) run ./cmd/mlecbench -label compare -out /tmp/mlec-bench-compare.json -against BENCH_gf256.json
 
 ## fuzz: short fuzzing smoke of the hand-written parsers (failure-trace
 ## files, //lint:allow directives). `go test -fuzz` accepts a single

@@ -13,9 +13,16 @@
 //
 //	mlecbench -label pre-sweep -out BENCH_gf256.json
 //	mlecbench -label post-sweep -out BENCH_gf256.json -append
+//	mlecbench -label ci -out bench-ci.json -against BENCH_gf256.json
 //
 // -append keeps earlier runs in the file so before/after pairs stay
-// side by side in one document.
+// side by side in one document. -label is mandatory and must not repeat
+// a label already in the file: every committed run names one measured
+// tree state. Each run records the Go version, GOARCH/GOAMD64 level and
+// CPU model, because GB/s numbers are only comparable within a machine.
+// -against compares the fresh run to the last run of a committed
+// baseline and warns (never fails) on kernels that lost more than
+// -warn-frac of their throughput.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"mlec/internal/gf256"
@@ -46,6 +54,8 @@ type benchRun struct {
 	Label     string        `json:"label"`
 	GoVersion string        `json:"go_version"`
 	GOARCH    string        `json:"goarch"`
+	GOAMD64   string        `json:"goamd64,omitempty"`
+	CPUModel  string        `json:"cpu_model,omitempty"`
 	Results   []benchResult `json:"results"`
 }
 
@@ -56,14 +66,46 @@ type benchFile struct {
 
 func main() {
 	out := flag.String("out", "BENCH_gf256.json", "output JSON file")
-	label := flag.String("label", "dev", "label for this run (e.g. pre-sweep, post-sweep)")
+	label := flag.String("label", "", "label for this run (e.g. pre-sweep, post-sweep); required")
 	appendRun := flag.Bool("append", false, "append to the runs already in the output file")
+	against := flag.String("against", "", "baseline JSON file: warn when GB/s drops more than -warn-frac below its last run")
+	warnFrac := flag.Float64("warn-frac", 0.20, "fractional GB/s drop vs -against that triggers a warning")
 	flag.Parse()
+
+	// A throughput number without a label is unusable in a diff: every
+	// committed run must say what state of the tree it measured.
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "mlecbench: -label is required (e.g. -label post-sweep)")
+		os.Exit(2)
+	}
+
+	// Load the existing document (and refuse a duplicate label) before
+	// spending minutes on the benchmarks themselves.
+	doc := benchFile{Schema: "mlec-kernel-bench/v1"}
+	if *appendRun {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &doc); err != nil {
+				fmt.Fprintf(os.Stderr, "mlecbench: %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}
+		doc.Schema = "mlec-kernel-bench/v1"
+	}
+	for _, prev := range doc.Runs {
+		if prev.Label == *label {
+			fmt.Fprintf(os.Stderr,
+				"mlecbench: %s already has a %q run; a label names one measured tree state — pick a new label or drop the old run first\n",
+				*out, *label)
+			os.Exit(2)
+		}
+	}
 
 	run := benchRun{
 		Label:     *label,
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
+		GOAMD64:   goamd64(),
+		CPUModel:  cpuModel(),
 	}
 	for _, bm := range kernelBenchmarks() {
 		r := testing.Benchmark(bm.fn)
@@ -84,16 +126,10 @@ func main() {
 			bm.name, r.N, res.NsPerOp, res.GBPerSec, res.AllocsPerOp)
 	}
 
-	doc := benchFile{Schema: "mlec-kernel-bench/v1"}
-	if *appendRun {
-		if data, err := os.ReadFile(*out); err == nil {
-			if err := json.Unmarshal(data, &doc); err != nil {
-				fmt.Fprintf(os.Stderr, "mlecbench: %s: %v\n", *out, err)
-				os.Exit(1)
-			}
-		}
-		doc.Schema = "mlec-kernel-bench/v1"
+	if *against != "" {
+		warnRegressions(run, *against, *warnFrac)
 	}
+
 	doc.Runs = append(doc.Runs, run)
 
 	data, err := json.MarshalIndent(doc, "", "  ")
@@ -106,6 +142,80 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d runs)\n", *out, len(doc.Runs))
+}
+
+// warnRegressions compares the fresh run against the last run in the
+// committed baseline file and prints a warning per kernel whose GB/s
+// fell more than frac below it. Warnings only: shared CI runners are
+// noisy enough that a hard gate would flake, but a >20% drop deserves a
+// line in the log next to the numbers.
+func warnRegressions(run benchRun, path string, frac float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlecbench: -against %s: %v\n", path, err)
+		return
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "mlecbench: -against %s: %v\n", path, err)
+		return
+	}
+	if len(base.Runs) == 0 {
+		fmt.Fprintf(os.Stderr, "mlecbench: -against %s: no runs to compare with\n", path)
+		return
+	}
+	ref := base.Runs[len(base.Runs)-1]
+	refBy := make(map[string]benchResult, len(ref.Results))
+	for _, r := range ref.Results {
+		refBy[r.Name] = r
+	}
+	warned := 0
+	for _, r := range run.Results {
+		b, ok := refBy[r.Name]
+		if !ok || b.GBPerSec <= 0 {
+			continue
+		}
+		if r.GBPerSec < b.GBPerSec*(1-frac) {
+			fmt.Fprintf(os.Stderr,
+				"mlecbench: WARNING: %s at %.2f GB/s is %.0f%% below the %q baseline of %.2f GB/s\n",
+				r.Name, r.GBPerSec, (1-r.GBPerSec/b.GBPerSec)*100, ref.Label, b.GBPerSec)
+			warned++
+		}
+	}
+	if warned == 0 {
+		fmt.Fprintf(os.Stderr, "mlecbench: all kernels within %.0f%% of the %q baseline in %s\n",
+			frac*100, ref.Label, path)
+	}
+}
+
+// goamd64 reports the microarchitecture level the binary was built for;
+// the compiler bakes it in at build time, so the environment value (or
+// the v1 default) is the provenance that matters for comparing runs.
+func goamd64() string {
+	if runtime.GOARCH != "amd64" {
+		return ""
+	}
+	if v := os.Getenv("GOAMD64"); v != "" {
+		return v
+	}
+	return "v1"
+}
+
+// cpuModel extracts the processor model from /proc/cpuinfo; GB/s
+// numbers are not comparable across CPUs, so each run records the one
+// it ran on. Returns "" where the file or field is unavailable.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, value, ok := strings.Cut(line, ":"); ok &&
+			strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(value)
+		}
+	}
+	return ""
 }
 
 type namedBench struct {

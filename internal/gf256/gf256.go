@@ -9,6 +9,8 @@
 // which is the scalar analogue of the SIMD shuffle kernels in ISA-L.
 package gf256
 
+import "encoding/binary"
+
 // Poly is the primitive polynomial generating the field, with the x^8 term
 // removed (0x11d & 0xff plus the carry handling in genTables).
 const Poly = 0x1d
@@ -111,8 +113,21 @@ func Log(a byte) int {
 // must not be modified.
 func MulTable(c byte) *[256]byte { return &mulTable[c] }
 
+// The slice kernels below are written in "slice-advance" form:
+//
+//	for len(src) >= N && len(dst) >= N { ... src, dst = src[N:], dst[N:] }
+//
+// rather than the indexed form `for i := 0; i+N <= len(src); i += N`.
+// The compiler's prove pass eliminates every bounds check in the
+// slice-advance form (constant indexes below N against a known minimum
+// length), whereas the indexed form keeps a check per access; `mlecvet
+// -compiler` verifies this against `-d=ssa/check_bce` output and the
+// hotbce analyzer enforces it statically. Word loads and stores go
+// through encoding/binary's little-endian views, which compile to
+// single moves on little-endian targets and stay correct elsewhere.
+
 // MulSlice sets dst[i] = c * src[i] for all i. dst and src must have the
-// same length; they may alias.
+// same length; they may alias exactly (but not partially overlap).
 //
 //mlec:hot per-byte codec kernel
 func MulSlice(c byte, src, dst []byte) {
@@ -131,20 +146,33 @@ func MulSlice(c byte, src, dst []byte) {
 		return
 	}
 	mt := &mulTable[c]
-	// 8-way unroll: keeps the table row hot and exposes ILP.
-	n := len(src) &^ 7
-	for i := 0; i < n; i += 8 {
-		dst[i+0] = mt[src[i+0]]
-		dst[i+1] = mt[src[i+1]]
-		dst[i+2] = mt[src[i+2]]
-		dst[i+3] = mt[src[i+3]]
-		dst[i+4] = mt[src[i+4]]
-		dst[i+5] = mt[src[i+5]]
-		dst[i+6] = mt[src[i+6]]
-		dst[i+7] = mt[src[i+7]]
+	// 16 bytes per iteration: byte loads feed the table row (always
+	// in-bounds: a byte indexes a 256-entry array), products are
+	// composed into two words and stored word-wide.
+	for len(src) >= 16 && len(dst) >= 16 {
+		v := uint64(mt[src[0]]) |
+			uint64(mt[src[1]])<<8 |
+			uint64(mt[src[2]])<<16 |
+			uint64(mt[src[3]])<<24 |
+			uint64(mt[src[4]])<<32 |
+			uint64(mt[src[5]])<<40 |
+			uint64(mt[src[6]])<<48 |
+			uint64(mt[src[7]])<<56
+		w := uint64(mt[src[8]]) |
+			uint64(mt[src[9]])<<8 |
+			uint64(mt[src[10]])<<16 |
+			uint64(mt[src[11]])<<24 |
+			uint64(mt[src[12]])<<32 |
+			uint64(mt[src[13]])<<40 |
+			uint64(mt[src[14]])<<48 |
+			uint64(mt[src[15]])<<56
+		binary.LittleEndian.PutUint64(dst, v)
+		binary.LittleEndian.PutUint64(dst[8:], w)
+		src, dst = src[16:], dst[16:]
 	}
-	for i := n; i < len(src); i++ {
-		dst[i] = mt[src[i]]
+	for len(src) > 0 && len(dst) > 0 {
+		dst[0] = mt[src[0]]
+		src, dst = src[1:], dst[1:]
 	}
 }
 
@@ -165,19 +193,30 @@ func MulAddSlice(c byte, src, dst []byte) {
 		return
 	}
 	mt := &mulTable[c]
-	n := len(src) &^ 7
-	for i := 0; i < n; i += 8 {
-		dst[i+0] ^= mt[src[i+0]]
-		dst[i+1] ^= mt[src[i+1]]
-		dst[i+2] ^= mt[src[i+2]]
-		dst[i+3] ^= mt[src[i+3]]
-		dst[i+4] ^= mt[src[i+4]]
-		dst[i+5] ^= mt[src[i+5]]
-		dst[i+6] ^= mt[src[i+6]]
-		dst[i+7] ^= mt[src[i+7]]
+	for len(src) >= 16 && len(dst) >= 16 {
+		v := uint64(mt[src[0]]) |
+			uint64(mt[src[1]])<<8 |
+			uint64(mt[src[2]])<<16 |
+			uint64(mt[src[3]])<<24 |
+			uint64(mt[src[4]])<<32 |
+			uint64(mt[src[5]])<<40 |
+			uint64(mt[src[6]])<<48 |
+			uint64(mt[src[7]])<<56
+		w := uint64(mt[src[8]]) |
+			uint64(mt[src[9]])<<8 |
+			uint64(mt[src[10]])<<16 |
+			uint64(mt[src[11]])<<24 |
+			uint64(mt[src[12]])<<32 |
+			uint64(mt[src[13]])<<40 |
+			uint64(mt[src[14]])<<48 |
+			uint64(mt[src[15]])<<56
+		binary.LittleEndian.PutUint64(dst, binary.LittleEndian.Uint64(dst)^v)
+		binary.LittleEndian.PutUint64(dst[8:], binary.LittleEndian.Uint64(dst[8:])^w)
+		src, dst = src[16:], dst[16:]
 	}
-	for i := n; i < len(src); i++ {
-		dst[i] ^= mt[src[i]]
+	for len(src) > 0 && len(dst) > 0 {
+		dst[0] ^= mt[src[0]]
+		src, dst = src[1:], dst[1:]
 	}
 }
 
@@ -189,21 +228,99 @@ func XorSlice(src, dst []byte) {
 		//lint:allow nakedpanic hot-kernel precondition; the bounds-check analogue for mismatched shard geometry
 		panic("gf256: XorSlice length mismatch")
 	}
-	i := 0
-	// Word-at-a-time via manual 8-byte chunks. encoding/binary would
-	// work too, but direct indexing lets the compiler eliminate bounds
-	// checks after the explicit guard.
-	for ; i+8 <= len(src); i += 8 {
-		dst[i+0] ^= src[i+0]
-		dst[i+1] ^= src[i+1]
-		dst[i+2] ^= src[i+2]
-		dst[i+3] ^= src[i+3]
-		dst[i+4] ^= src[i+4]
-		dst[i+5] ^= src[i+5]
-		dst[i+6] ^= src[i+6]
-		dst[i+7] ^= src[i+7]
+	// 32 bytes per iteration, then one word at a time, then bytes.
+	for len(src) >= 32 && len(dst) >= 32 {
+		binary.LittleEndian.PutUint64(dst, binary.LittleEndian.Uint64(dst)^binary.LittleEndian.Uint64(src))
+		binary.LittleEndian.PutUint64(dst[8:], binary.LittleEndian.Uint64(dst[8:])^binary.LittleEndian.Uint64(src[8:]))
+		binary.LittleEndian.PutUint64(dst[16:], binary.LittleEndian.Uint64(dst[16:])^binary.LittleEndian.Uint64(src[16:]))
+		binary.LittleEndian.PutUint64(dst[24:], binary.LittleEndian.Uint64(dst[24:])^binary.LittleEndian.Uint64(src[24:]))
+		src, dst = src[32:], dst[32:]
 	}
-	for ; i < len(src); i++ {
-		dst[i] ^= src[i]
+	for len(src) >= 8 && len(dst) >= 8 {
+		binary.LittleEndian.PutUint64(dst, binary.LittleEndian.Uint64(dst)^binary.LittleEndian.Uint64(src))
+		src, dst = src[8:], dst[8:]
+	}
+	for len(src) > 0 && len(dst) > 0 {
+		dst[0] ^= src[0]
+		src, dst = src[1:], dst[1:]
+	}
+}
+
+// DualTable is a product table for a pair of multipliers (c1, c2):
+// entry s holds Mul(c1,s) in bits 0–7 and Mul(c2,s) in bits 32–39. One
+// byte lookup therefore yields both parity contributions, and because
+// per-byte products are composed into a word by shifting 8 bits per
+// source byte, the c1 products accumulate in the low half of the word
+// and the c2 products in the high half without colliding. The table is
+// 2 KiB — it stays L1-resident across a whole shard pass, unlike wider
+// (two-bytes-per-lookup) tables whose 128 KiB footprint thrashes the
+// cache as the encode loop cycles through k·p coefficients.
+type DualTable [256]uint64
+
+// NewDualTable builds the interleaved product table for (c1, c2).
+func NewDualTable(c1, c2 byte) *DualTable {
+	t := new(DualTable)
+	t1, t2 := &mulTable[c1], &mulTable[c2]
+	for s := 0; s < 256; s++ {
+		t[s] = uint64(t1[s]) | uint64(t2[s])<<32
+	}
+	return t
+}
+
+// MulAddDual sets d1[i] ^= c1*src[i] and d2[i] ^= c2*src[i] where t is
+// NewDualTable(c1, c2). src, d1, d2 must have equal lengths; d1 and d2
+// must not overlap src or each other. One pass over src feeds two
+// parity rows, halving table lookups and loop overhead per parity byte
+// relative to two MulAddSlice passes.
+//
+//mlec:hot dual-parity codec kernel
+func MulAddDual(t *DualTable, src, d1, d2 []byte) {
+	if len(src) != len(d1) || len(src) != len(d2) {
+		//lint:allow nakedpanic hot-kernel precondition; the bounds-check analogue for mismatched shard geometry
+		panic("gf256: MulAddDual length mismatch")
+	}
+	for len(src) >= 8 && len(d1) >= 8 && len(d2) >= 8 {
+		a := t[src[0]] | t[src[1]]<<8 | t[src[2]]<<16 | t[src[3]]<<24
+		b := t[src[4]] | t[src[5]]<<8 | t[src[6]]<<16 | t[src[7]]<<24
+		// a, b each hold 4 c1-products (low 32 bits) and 4
+		// c2-products (high 32 bits); recombine into one word per
+		// destination.
+		v := uint64(uint32(a)) | uint64(uint32(b))<<32
+		w := a>>32 | b&0xffffffff00000000
+		binary.LittleEndian.PutUint64(d1, binary.LittleEndian.Uint64(d1)^v)
+		binary.LittleEndian.PutUint64(d2, binary.LittleEndian.Uint64(d2)^w)
+		src, d1, d2 = src[8:], d1[8:], d2[8:]
+	}
+	for len(src) > 0 && len(d1) > 0 && len(d2) > 0 {
+		e := t[src[0]]
+		d1[0] ^= byte(e)
+		d2[0] ^= byte(e >> 32)
+		src, d1, d2 = src[1:], d1[1:], d2[1:]
+	}
+}
+
+// MulDual sets d1[i] = c1*src[i] and d2[i] = c2*src[i] — the
+// first-source variant of MulAddDual that overwrites instead of
+// accumulating, saving the destination reads (and a separate zeroing
+// pass) on the first column of an encode.
+//
+//mlec:hot dual-parity codec kernel
+func MulDual(t *DualTable, src, d1, d2 []byte) {
+	if len(src) != len(d1) || len(src) != len(d2) {
+		//lint:allow nakedpanic hot-kernel precondition; the bounds-check analogue for mismatched shard geometry
+		panic("gf256: MulDual length mismatch")
+	}
+	for len(src) >= 8 && len(d1) >= 8 && len(d2) >= 8 {
+		a := t[src[0]] | t[src[1]]<<8 | t[src[2]]<<16 | t[src[3]]<<24
+		b := t[src[4]] | t[src[5]]<<8 | t[src[6]]<<16 | t[src[7]]<<24
+		binary.LittleEndian.PutUint64(d1, uint64(uint32(a))|uint64(uint32(b))<<32)
+		binary.LittleEndian.PutUint64(d2, a>>32|b&0xffffffff00000000)
+		src, d1, d2 = src[8:], d1[8:], d2[8:]
+	}
+	for len(src) > 0 && len(d1) > 0 && len(d2) > 0 {
+		e := t[src[0]]
+		d1[0] = byte(e)
+		d2[0] = byte(e >> 32)
+		src, d1, d2 = src[1:], d1[1:], d2[1:]
 	}
 }

@@ -1,0 +1,222 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Scalar reference kernels: the one-byte-at-a-time definitions the
+// word-wide slice-advance kernels must agree with on every length and
+// alignment. The word kernels peel 8/16/32-byte chunks with distinct
+// tail handling, so the properties below sweep all lengths 0–129 (every
+// chunk-boundary remainder) and unaligned sub-slices of a shared
+// backing array (every word-offset phase).
+
+func refMulSlice(c byte, src, dst []byte) {
+	for i := range src {
+		dst[i] = Mul(c, src[i])
+	}
+}
+
+func refMulAddSlice(c byte, src, dst []byte) {
+	for i := range src {
+		dst[i] ^= Mul(c, src[i])
+	}
+}
+
+func refXorSlice(src, dst []byte) {
+	for i := range src {
+		dst[i] ^= src[i]
+	}
+}
+
+// kernelLengths is every length from 0 through 129: covers empty, all
+// sub-word sizes, exact multiples of the 8/16/32-byte chunk widths, and
+// every possible tail remainder after the widest chunk loop.
+func kernelLengths() []int {
+	ns := make([]int, 130)
+	for i := range ns {
+		ns[i] = i
+	}
+	return ns
+}
+
+// kernelCoeffs exercises the special-cased multipliers (0, 1) alongside
+// generic ones, including the generator polynomial constant.
+var kernelCoeffs = []byte{0, 1, 2, 3, Poly, 0x8e, 0xff}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range kernelCoeffs {
+		for _, n := range kernelLengths() {
+			src := make([]byte, n)
+			rng.Read(src)
+			want := make([]byte, n)
+			got := make([]byte, n)
+			refMulSlice(c, src, want)
+			MulSlice(c, src, got)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("MulSlice(c=%#x, n=%d) disagrees with scalar reference", c, n)
+			}
+		}
+	}
+}
+
+func TestMulAddSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range kernelCoeffs {
+		for _, n := range kernelLengths() {
+			src := make([]byte, n)
+			rng.Read(src)
+			want := make([]byte, n)
+			rng.Read(want)
+			got := append([]byte(nil), want...)
+			refMulAddSlice(c, src, want)
+			MulAddSlice(c, src, got)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("MulAddSlice(c=%#x, n=%d) disagrees with scalar reference", c, n)
+			}
+		}
+	}
+}
+
+func TestXorSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range kernelLengths() {
+		src := make([]byte, n)
+		rng.Read(src)
+		want := make([]byte, n)
+		rng.Read(want)
+		got := append([]byte(nil), want...)
+		refXorSlice(src, want)
+		XorSlice(src, got)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("XorSlice(n=%d) disagrees with scalar reference", n)
+		}
+	}
+}
+
+// TestKernelsUnaligned runs the word kernels on sub-slices at every
+// offset 0–8 of a shared backing array, so word loads land on every
+// alignment phase, and verifies bytes outside the window are untouched.
+func TestKernelsUnaligned(t *testing.T) {
+	const pad = 16
+	rng := rand.New(rand.NewSource(4))
+	for off := 0; off <= 8; off++ {
+		for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129} {
+			backing := make([]byte, pad+off+n+pad)
+			rng.Read(backing)
+			srcBack := append([]byte(nil), backing...)
+			rng.Read(srcBack)
+
+			src := srcBack[pad+off : pad+off+n]
+			frozen := append([]byte(nil), backing...)
+
+			// XorSlice on the window.
+			got := append([]byte(nil), backing...)
+			want := append([]byte(nil), backing...)
+			refXorSlice(src, want[pad+off:pad+off+n])
+			XorSlice(src, got[pad+off:pad+off+n])
+			if !bytes.Equal(want, got) {
+				t.Fatalf("XorSlice(off=%d, n=%d) disagrees with scalar reference", off, n)
+			}
+			if !bytes.Equal(got[:pad+off], frozen[:pad+off]) || !bytes.Equal(got[pad+off+n:], frozen[pad+off+n:]) {
+				t.Fatalf("XorSlice(off=%d, n=%d) wrote outside the window", off, n)
+			}
+
+			// MulAddSlice on the window.
+			const c = 0x1d
+			got = append([]byte(nil), backing...)
+			want = append([]byte(nil), backing...)
+			refMulAddSlice(c, src, want[pad+off:pad+off+n])
+			MulAddSlice(c, src, got[pad+off:pad+off+n])
+			if !bytes.Equal(want, got) {
+				t.Fatalf("MulAddSlice(off=%d, n=%d) disagrees with scalar reference", off, n)
+			}
+			if !bytes.Equal(got[:pad+off], frozen[:pad+off]) || !bytes.Equal(got[pad+off+n:], frozen[pad+off+n:]) {
+				t.Fatalf("MulAddSlice(off=%d, n=%d) wrote outside the window", off, n)
+			}
+		}
+	}
+}
+
+func TestDualTableEntries(t *testing.T) {
+	dt := NewDualTable(0x1d, 0x8e)
+	for s := 0; s < 256; s++ {
+		e := dt[s]
+		if byte(e) != Mul(0x1d, byte(s)) || byte(e>>32) != Mul(0x8e, byte(s)) {
+			t.Fatalf("DualTable entry %d = %#x inconsistent with Mul", s, e)
+		}
+		if e&^0x000000ff000000ff != 0 {
+			t.Fatalf("DualTable entry %d = %#x has bits outside the two product lanes", s, e)
+		}
+	}
+}
+
+func TestMulAddDualMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, pair := range [][2]byte{{0, 0}, {1, 2}, {0x1d, 0x8e}, {0xff, 0x01}} {
+		c1, c2 := pair[0], pair[1]
+		dt := NewDualTable(c1, c2)
+		for _, n := range kernelLengths() {
+			src := make([]byte, n)
+			rng.Read(src)
+			w1 := make([]byte, n)
+			w2 := make([]byte, n)
+			rng.Read(w1)
+			rng.Read(w2)
+			g1 := append([]byte(nil), w1...)
+			g2 := append([]byte(nil), w2...)
+			refMulAddSlice(c1, src, w1)
+			refMulAddSlice(c2, src, w2)
+			MulAddDual(dt, src, g1, g2)
+			if !bytes.Equal(w1, g1) || !bytes.Equal(w2, g2) {
+				t.Fatalf("MulAddDual(c1=%#x, c2=%#x, n=%d) disagrees with scalar reference", c1, c2, n)
+			}
+		}
+	}
+}
+
+func TestMulDualMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, pair := range [][2]byte{{0, 1}, {0x1d, 0x8e}, {0xfe, 0xff}} {
+		c1, c2 := pair[0], pair[1]
+		dt := NewDualTable(c1, c2)
+		for _, n := range kernelLengths() {
+			src := make([]byte, n)
+			rng.Read(src)
+			w1 := make([]byte, n)
+			w2 := make([]byte, n)
+			g1 := make([]byte, n)
+			g2 := make([]byte, n)
+			rng.Read(g1) // stale contents must be fully overwritten
+			rng.Read(g2)
+			refMulSlice(c1, src, w1)
+			refMulSlice(c2, src, w2)
+			MulDual(dt, src, g1, g2)
+			if !bytes.Equal(w1, g1) || !bytes.Equal(w2, g2) {
+				t.Fatalf("MulDual(c1=%#x, c2=%#x, n=%d) disagrees with scalar reference", c1, c2, n)
+			}
+		}
+	}
+}
+
+func TestDualLengthMismatchPanics(t *testing.T) {
+	dt := NewDualTable(2, 3)
+	for _, fn := range []func(){
+		func() { MulAddDual(dt, make([]byte, 4), make([]byte, 3), make([]byte, 4)) },
+		func() { MulAddDual(dt, make([]byte, 4), make([]byte, 4), make([]byte, 5)) },
+		func() { MulDual(dt, make([]byte, 4), make([]byte, 3), make([]byte, 4)) },
+		func() { MulDual(dt, make([]byte, 4), make([]byte, 4), make([]byte, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("length mismatch did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

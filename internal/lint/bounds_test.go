@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+// boundsSitesSrc parses and type-checks one source file and returns the
+// bounds-engine sites per function name.
+func boundsSitesSrc(t *testing.T, src string) map[string][]boundsSite {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "bounds_test_src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("type error in test source: %v", err)
+	}
+	out := make(map[string][]boundsSite)
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out[fd.Name.Name] = analyzeBounds(info, fd.Body)
+		}
+	}
+	return out
+}
+
+// boundsStrings renders sites as "kind expr verdict" in source order for
+// compact comparison.
+func boundsStrings(sites []boundsSite) []string {
+	var out []string
+	for _, s := range sites {
+		verdict := "unproven"
+		if s.proven {
+			verdict = "proven"
+		}
+		out = append(out, fmt.Sprintf("%s %s %s", s.kind, s.expr, verdict))
+	}
+	return out
+}
+
+// TestBoundsEngine pins the transfer rules case by case. The fixture
+// test (testdata/src/hotbce) covers the analyzer policy end to end;
+// these cases pin the engine verdicts directly, including sites outside
+// loops that the analyzer never reports.
+func TestBoundsEngine(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   string
+		src  string
+		want []string // "kind expr verdict" in source order
+	}{
+		{
+			name: "join meets to the weaker bound",
+			fn:   "F",
+			src: `package p
+func F(s []byte, c bool) byte {
+	if c {
+		if len(s) < 8 {
+			return 0
+		}
+	} else {
+		if len(s) < 4 {
+			return 0
+		}
+	}
+	return s[3] + s[7]
+}`,
+			// Both paths prove len >= 4; only one proves len >= 8.
+			want: []string{"index s[3] proven", "index s[7] unproven"},
+		},
+		{
+			name: "reslice advances the minimum length",
+			fn:   "F",
+			src: `package p
+func F(s []byte) byte {
+	if len(s) < 10 {
+		return 0
+	}
+	s = s[4:]
+	return s[5] + s[6]
+}`,
+			want: []string{"slice s[4:] proven", "index s[5] proven", "index s[6] unproven"},
+		},
+		{
+			name: "constant window reslice has exact length",
+			fn:   "F",
+			src: `package p
+func F(s []byte) byte {
+	if len(s) < 8 {
+		return 0
+	}
+	w := s[2:6]
+	return w[3] + w[4]
+}`,
+			want: []string{"slice s[2:6] proven", "index w[3] proven", "index w[4] unproven"},
+		},
+		{
+			name: "make with constant length",
+			fn:   "F",
+			src: `package p
+func F(n int) byte {
+	b := make([]byte, 16)
+	c := make([]byte, n)
+	_ = c
+	return b[15]
+}`,
+			want: []string{"index b[15] proven"},
+		},
+		{
+			name: "slice copy carries length equality",
+			fn:   "F",
+			src: `package p
+func F(s []byte) byte {
+	u := s
+	var acc byte
+	for i := range s {
+		acc ^= u[i]
+	}
+	return acc
+}`,
+			want: []string{"index u[i] proven"},
+		},
+		{
+			name: "local slice facts survive calls, address-taken do not",
+			fn:   "F",
+			src: `package p
+func sink(p *[]byte) {}
+func use(s []byte)   {}
+func F(a, b []byte) byte {
+	if len(a) < 8 || len(b) < 8 {
+		return 0
+	}
+	use(a)
+	x := a[7]
+	sink(&b)
+	return x + b[7]
+}`,
+			want: []string{"index a[7] proven", "index b[7] unproven"},
+		},
+		{
+			name: "switch tag edges refine nothing",
+			fn:   "F",
+			src: `package p
+func F(s []byte) byte {
+	switch len(s) {
+	case 4:
+		return s[0]
+	}
+	return 0
+}`,
+			// A tag comparison is not a boolean branch condition; the
+			// engine must neither refine from it nor misread the case
+			// edge as "condition true".
+			want: []string{"index s[0] unproven"},
+		},
+		{
+			name: "successful index is a postcondition",
+			fn:   "F",
+			src: `package p
+func F(s []byte, i int) byte {
+	x := s[i]
+	y := s[i]
+	z := s[0]
+	return x + y + z
+}`,
+			// The first s[i] establishes 0 <= i < len(s) for the second,
+			// and len(s) >= 1 for s[0].
+			want: []string{"index s[i] unproven", "index s[i] proven", "index s[0] proven"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sites := boundsSitesSrc(t, c.src)[c.fn]
+			got := boundsStrings(sites)
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("got %v\nwant %v", got, c.want)
+			}
+		})
+	}
+}

@@ -372,3 +372,209 @@ func TestLoopBlocksForAndAfter(t *testing.T) {
 		t.Fatalf("got %d loop blocks, want head+body+post: %s", len(loops), g)
 	}
 }
+
+// blocksOfKind returns the blocks with the given Kind, in index order.
+func blocksOfKind(g *Graph, kind string) []*Block {
+	var out []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// hasEdge reports whether from lists to among its successors.
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRangeOverIntBackEdge locks the shape the bounds engine depends on
+// for range-over-int loops (go1.22): the header holds the RangeStmt,
+// the body edges back to the header, and the body is the header's
+// FIRST successor — passes refine "iteration in progress" facts along
+// Succs[0] and "loop done" facts along Succs[1].
+func TestRangeOverIntBackEdge(t *testing.T) {
+	g := parse(t, `func f(n int) int {
+		s := 0
+		for i := range n {
+			s += i
+		}
+		return s
+	}`)
+	heads := blocksOfKind(g, "range.head")
+	bodies := blocksOfKind(g, "range.body")
+	dones := blocksOfKind(g, "range.done")
+	if len(heads) != 1 || len(bodies) != 1 || len(dones) != 1 {
+		t.Fatalf("want one range head/body/done, got %s", g)
+	}
+	head, body, done := heads[0], bodies[0], dones[0]
+	if len(head.Nodes) != 1 {
+		t.Fatalf("range head holds %d nodes, want the RangeStmt alone: %s", len(head.Nodes), g)
+	}
+	if _, ok := head.Nodes[0].(*ast.RangeStmt); !ok {
+		t.Fatalf("range head node is %T, want *ast.RangeStmt", head.Nodes[0])
+	}
+	if len(head.Succs) != 2 || head.Succs[0] != body || head.Succs[1] != done {
+		t.Fatalf("range head succs must be [body, done]: %s", g)
+	}
+	if !hasEdge(body, head) {
+		t.Fatalf("range body missing back-edge to header: %s", g)
+	}
+	loops := g.LoopBlocks()
+	if !loops[head] || !loops[body] {
+		t.Fatalf("range-over-int header/body not classified as loop blocks: %s", g)
+	}
+	if loops[done] {
+		t.Fatalf("range.done wrongly classified as a loop block: %s", g)
+	}
+}
+
+// TestNestedLabeledLoopBackEdges locks the back-edge structure of
+// nested labeled for loops: `continue outer` from the inner body must
+// edge to the OUTER post block (so the outer increment still runs),
+// `break inner` to the inner done block, and falling out of the inner
+// loop must rejoin the outer post→head back-edge.
+func TestNestedLabeledLoopBackEdges(t *testing.T) {
+	g := parse(t, `func f(n int) {
+	outer:
+		for i := 0; i < n; i++ {
+		inner:
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue outer
+				}
+				if j > i {
+					break inner
+				}
+			}
+		}
+	}`)
+	heads := blocksOfKind(g, "for.head")
+	posts := blocksOfKind(g, "for.post")
+	dones := blocksOfKind(g, "for.done")
+	if len(heads) != 2 || len(posts) != 2 || len(dones) != 2 {
+		t.Fatalf("want two of each loop block kind, got %s", g)
+	}
+	outerHead, innerHead := heads[0], heads[1]
+	outerPost, innerPost := posts[0], posts[1]
+	outerDone, innerDone := dones[0], dones[1]
+	if !hasEdge(outerPost, outerHead) || !hasEdge(innerPost, innerHead) {
+		t.Fatalf("post→head back-edge missing: %s", g)
+	}
+	// continue outer: some block of the inner body edges to outerPost.
+	contOK := false
+	for _, b := range g.Blocks {
+		if b != innerPost && b != innerDone && hasEdge(b, outerPost) && b.Kind == "if.then" {
+			contOK = true
+		}
+	}
+	if !contOK {
+		t.Fatalf("`continue outer` does not edge to the outer post block: %s", g)
+	}
+	// break inner: an if.then block edges to innerDone.
+	brkOK := false
+	for _, b := range blocksOfKind(g, "if.then") {
+		if hasEdge(b, innerDone) {
+			brkOK = true
+		}
+	}
+	if !brkOK {
+		t.Fatalf("`break inner` does not edge to the inner done block: %s", g)
+	}
+	// Falling out of the inner loop rejoins the outer back-edge.
+	if !hasEdge(innerDone, outerPost) {
+		t.Fatalf("inner loop exit does not rejoin the outer post block: %s", g)
+	}
+	loops := g.LoopBlocks()
+	if !loops[outerHead] || !loops[innerHead] || !loops[outerPost] || !loops[innerPost] {
+		t.Fatalf("loop headers/posts not all classified as loop blocks: %s", g)
+	}
+	if loops[outerDone] {
+		t.Fatalf("outer for.done wrongly classified as a loop block: %s", g)
+	}
+	// The inner done IS on the outer cycle — a fact passes must respect
+	// when deciding "does this block re-execute".
+	if !loops[innerDone] {
+		t.Fatalf("inner for.done lies on the outer cycle and must be a loop block: %s", g)
+	}
+}
+
+// TestLabeledRangeContinueBackEdge: `continue outer` inside a nested
+// range loop must edge to the OUTER range header (range loops have no
+// post block; the header re-evaluates the RangeStmt).
+func TestLabeledRangeContinueBackEdge(t *testing.T) {
+	g := parse(t, `func f(xs [][]int) {
+	outer:
+		for _, row := range xs {
+			for _, v := range row {
+				if v == 0 {
+					continue outer
+				}
+			}
+		}
+	}`)
+	heads := blocksOfKind(g, "range.head")
+	if len(heads) != 2 {
+		t.Fatalf("want two range headers, got %s", g)
+	}
+	outerHead := heads[0]
+	contOK := false
+	for _, b := range blocksOfKind(g, "if.then") {
+		if hasEdge(b, outerHead) {
+			contOK = true
+		}
+	}
+	if !contOK {
+		t.Fatalf("`continue outer` does not edge back to the outer range header: %s", g)
+	}
+	loops := g.LoopBlocks()
+	if !loops[outerHead] {
+		t.Fatalf("outer range header not classified as a loop block: %s", g)
+	}
+}
+
+// TestCondSuccsOrderTrueFirst locks the successor ordering convention
+// across every conditional construct: Succs[0] is the edge taken when
+// the condition holds (if.then / loop body), Succs[1] the refuted edge.
+// The bounds engine's branch refinement is built on this ordering.
+func TestCondSuccsOrderTrueFirst(t *testing.T) {
+	g := parse(t, `func f(s []byte, n int) {
+		if len(s) > 0 {
+			_ = s[0]
+		}
+		for len(s) >= 8 {
+			s = s[8:]
+		}
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}`)
+	for _, b := range g.Blocks {
+		if len(b.Nodes) == 0 || len(b.Succs) != 2 {
+			continue
+		}
+		switch b.Kind {
+		case "for.head":
+			if b.Succs[0].Kind != "for.body" || b.Succs[1].Kind != "for.done" {
+				t.Fatalf("for.head succs not [body, done]: %s", g)
+			}
+		}
+	}
+	// The if condition lives at the end of its predecessor block; its
+	// first successor must be the then block.
+	thens := blocksOfKind(g, "if.then")
+	if len(thens) != 1 {
+		t.Fatalf("want one if.then, got %s", g)
+	}
+	for _, b := range g.Blocks {
+		if hasEdge(b, thens[0]) && b.Succs[0] != thens[0] {
+			t.Fatalf("if predecessor's first successor is not the then block: %s", g)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// HotBCE enforces the bounds-check discipline on the //mlec:hot
+// kernels: every index or slice expression inside a loop of a hot
+// function (or hot region) must be provably in bounds from the length
+// facts on the path to it, so the compiler's prove pass eliminates the
+// per-iteration check. The engine (bounds.go) mirrors the idioms the
+// kernels use — length guards, slice-advance loops, range keys,
+// `_ = s[k]` hints, byte-indexed 256-entry tables — and `mlecvet
+// -compiler` cross-checks its verdicts against `-d=ssa/check_bce`.
+//
+// Scope is deliberately the directly annotated hot code, not the
+// transitive hot set: propagation reaches simulation drivers whose
+// per-event indexing is dominated by event dispatch, where a bounds
+// check is noise, not cost. The annotated kernels are exactly the code
+// whose per-byte loops make one check per iteration measurable.
+// Sites outside loops are likewise ignored: a once-per-call check is
+// not a steady-state cost.
+var HotBCE = &Analyzer{
+	Name: "hotbce",
+	Doc:  "require provably eliminable bounds checks in //mlec:hot loops",
+	Run:  runHotBCE,
+}
+
+// funcDirectHot reports whether fd itself carries the //mlec:hot
+// annotation (as opposed to hotness inherited through the call graph).
+func (p *Pass) funcDirectHot(fd *ast.FuncDecl) bool {
+	return p.Facts.hotIdx.at(p.Fset.Position(fd.Pos())) && !p.FuncCold(fd)
+}
+
+// inStmts reports whether n lies within one of the statements.
+func inStmts(n ast.Node, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if n.Pos() >= s.Pos() && n.End() <= s.End() {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotBCE(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.FuncCold(fd) {
+				continue
+			}
+			direct := pass.funcDirectHot(fd)
+			var regions []ast.Stmt
+			if !direct {
+				regions = pass.HotRegions(fd)
+				if len(regions) == 0 {
+					continue
+				}
+			}
+			for _, site := range analyzeBounds(pass.Info, fd.Body) {
+				if site.proven || !site.inLoop {
+					continue
+				}
+				if !direct && !inStmts(site.node, regions) {
+					continue
+				}
+				hint := "guard the loop with an explicit len() comparison or a `_ = " + site.base + "[n-1]` hint, or restructure to slice-advance form"
+				if site.need > 0 {
+					hint = "establish len(" + site.base + ") >= " + strconv.Itoa(site.need) + " before the loop (length guard or `_ = " + site.base + "[" + strconv.Itoa(site.need-1) + "]` hint), or restructure to slice-advance form"
+				}
+				verb := "indexes"
+				if site.kind == "slice" {
+					verb = "slices"
+				}
+				pass.Report(site.node.Pos(),
+					"%s %s %s in a hot loop without a provable bound; %s",
+					fd.Name.Name, verb, site.expr, hint)
+			}
+		}
+	}
+	return nil
+}

@@ -149,6 +149,8 @@ func All() []*Analyzer {
 		HotIface,
 		HotDefer,
 		HotPrealloc,
+		HotBCE,
+		HotInline,
 	}
 }
 

@@ -162,6 +162,8 @@ func TestAnalyzers(t *testing.T) {
 		{HotIface, "hotiface"},
 		{HotDefer, "hotdefer"},
 		{HotPrealloc, "hotprealloc"},
+		{HotBCE, "hotbce"},
+		{HotInline, "hotinline"},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {

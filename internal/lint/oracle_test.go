@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const cannedOracle = `# mlec/internal/gf256
+internal/gf256/gf256.go:98:9: Found IsInBounds
+internal/gf256/gf256.go:132:6: can inline MulByte
+internal/gf256/gf256.go:140:12: Found IsSliceInBounds
+internal/obs/metrics.go:20:6: can inline (*Counter).Inc
+internal/obs/metrics.go:20:19: inlining call to sync/atomic.(*Int64).Add
+internal/gf256/gf256.go:55:2: s escapes to heap
+internal/gf256/gf256.go:98:30: Found IsInBounds
+not a diagnostic line
+internal/gf256/gf256.go:200:6: cannot inline XorSlice: function too complex
+`
+
+func oraclePos(file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: 1}
+}
+
+func TestParseOracle(t *testing.T) {
+	facts, err := ParseOracle(strings.NewReader(cannedOracle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := "/work/repo/internal/gf256/gf256.go"
+	if !oracleAt(facts.Bounds, oraclePos(abs, 98)) {
+		t.Errorf("missing Found at %s:98", abs)
+	}
+	if !oracleAt(facts.Bounds, oraclePos(abs, 140)) {
+		t.Errorf("missing Found (IsSliceInBounds) at %s:140", abs)
+	}
+	if oracleAt(facts.Bounds, oraclePos(abs, 132)) {
+		t.Errorf("spurious Found at %s:132", abs)
+	}
+	if !oracleAt(facts.CanInline, oraclePos(abs, 132)) {
+		t.Errorf("missing can-inline at %s:132", abs)
+	}
+	if !oracleAt(facts.CanInline, oraclePos("/work/repo/internal/obs/metrics.go", 20)) {
+		t.Errorf("missing can-inline for a method at metrics.go:20")
+	}
+	// cannot-inline and escape lines are not can-inline facts.
+	if oracleAt(facts.CanInline, oraclePos(abs, 200)) {
+		t.Errorf("`cannot inline` parsed as can-inline at %s:200", abs)
+	}
+	// A same-base same-line file in a different directory must not match.
+	if oracleAt(facts.Bounds, oraclePos("/work/repo/internal/other/gf256.go", 98)) {
+		t.Errorf("suffix match leaked across directories")
+	}
+}
+
+func TestCompareOracle(t *testing.T) {
+	facts, err := ParseOracle(strings.NewReader(cannedOracle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := "/work/repo/internal/gf256/gf256.go"
+	bounds := []BoundsClaim{
+		// Proven on a line the compiler checked: unsoundness.
+		{Pos: oraclePos(abs, 98), Expr: "tab[x]", Proven: true},
+		// Unproven on a line with no Found: over-conservative.
+		{Pos: oraclePos(abs, 60), Expr: "s[i]", Proven: false},
+		// Proven on a clean line: agreement.
+		{Pos: oraclePos(abs, 61), Expr: "s[0]", Proven: true},
+		// Unproven on a checked line: agreement.
+		{Pos: oraclePos(abs, 140), Expr: "s[8:]", Proven: false},
+		// Mixed line: skipped in both directions.
+		{Pos: oraclePos(abs, 70), Expr: "a[0]", Proven: true},
+		{Pos: oraclePos(abs, 70), Expr: "b[i]", Proven: false},
+	}
+	inlines := []InlineClaim{
+		// Declared at a can-inline line: agreement.
+		{CallPos: oraclePos(abs, 300), DeclPos: oraclePos(abs, 132), Name: "MulByte"},
+		// No can-inline at the declaration: divergence.
+		{CallPos: oraclePos(abs, 301), DeclPos: oraclePos(abs, 200), Name: "XorSlice"},
+	}
+	got := CompareOracle(bounds, inlines, facts)
+	if len(got) != 3 {
+		t.Fatalf("got %d disagreements, want 3:\n%v", len(got), got)
+	}
+	wantSubstr := []string{
+		"compiler eliminated the bounds check on s[i]",
+		"static engine proves tab[x]",
+		"hotinline judged XorSlice inlinable",
+	}
+	for i, w := range wantSubstr {
+		if !strings.Contains(got[i].String(), w) {
+			t.Errorf("disagreement %d = %q, want substring %q", i, got[i], w)
+		}
+	}
+}

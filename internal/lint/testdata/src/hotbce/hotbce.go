@@ -1,0 +1,217 @@
+// Package hotbce exercises the hotbce analyzer: indexing in //mlec:hot
+// loops must be provable from length facts on every path. Proven sites
+// and sites outside loops are negative cases; each unproven loop site
+// is a finding with a suggested remedy.
+package hotbce
+
+// SliceAdvance is the blessed kernel shape: constant indexes below the
+// guard width, then advance. Everything proves.
+//
+//mlec:hot
+func SliceAdvance(src, dst []byte) {
+	for len(src) >= 4 && len(dst) >= 4 {
+		dst[0] = src[0]
+		dst[1] = src[1]
+		dst[2] = src[2]
+		dst[3] = src[3]
+		src, dst = src[4:], dst[4:]
+	}
+	for len(src) > 0 && len(dst) > 0 {
+		dst[0] = src[0]
+		src, dst = src[1:], dst[1:]
+	}
+}
+
+// IndexedNoGuard is the anti-pattern: the compiler keeps a check per
+// access because nothing bounds i+1 against len(s).
+//
+//mlec:hot
+func IndexedNoGuard(s []byte) byte {
+	var acc byte
+	for i := 0; i+2 <= len(s); i += 2 {
+		acc ^= s[i]   // want `indexes s\[i\] in a hot loop without a provable bound`
+		acc ^= s[i+1] // want `indexes s\[i \+ 1\] in a hot loop without a provable bound`
+	}
+	return acc
+}
+
+// RangeIndex proves through the range key relation.
+//
+//mlec:hot
+func RangeIndex(s []byte) byte {
+	var acc byte
+	for i := range s {
+		acc ^= s[i]
+	}
+	return acc
+}
+
+// EqualLens proves indexing one slice with the other's range key after
+// an early-return length guard.
+//
+//mlec:hot
+func EqualLens(row, data []byte) byte {
+	if len(row) != len(data) {
+		return 0
+	}
+	var acc byte
+	for i := range row {
+		acc ^= data[i]
+	}
+	return acc
+}
+
+// OrGuard proves through the false edge of a disjunction: past the
+// guard both operands are false.
+//
+//mlec:hot
+func OrGuard(rem [][]byte) []byte {
+	for len(rem) >= 1 {
+		if len(rem) < 2 || rem[0] == nil {
+			return nil
+		}
+		out := rem[1]
+		rem = rem[2:]
+		if out != nil {
+			return out
+		}
+	}
+	return nil
+}
+
+// UnrelatedLens indexes data with a key ranged over row without any
+// length relation between them: unprovable.
+//
+//mlec:hot
+func UnrelatedLens(row, data []byte) byte {
+	var acc byte
+	for i := range row {
+		acc ^= data[i] // want `indexes data\[i\] in a hot loop without a provable bound`
+	}
+	return acc
+}
+
+// ByteTable proves via the byte-index rule: a byte cannot exceed a
+// 256-entry table.
+//
+//mlec:hot
+func ByteTable(tab *[256]byte, src []byte) byte {
+	var acc byte
+	for len(src) > 0 {
+		acc ^= tab[src[0]]
+		src = src[1:]
+	}
+	return acc
+}
+
+// HintBeforeLoop proves constant window indexing from a `_ = s[k]`
+// hint placed before the loop: the postcondition len(src) >= 8
+// survives every iteration because nothing reassigns src.
+//
+//mlec:hot
+func HintBeforeLoop(src []byte, rounds int) byte {
+	var acc byte
+	_ = src[7]
+	for ; rounds > 0; rounds-- {
+		acc ^= src[0] ^ src[3] ^ src[7]
+	}
+	return acc
+}
+
+// UnguardedSliceExpr reslices past an unknown length inside the loop.
+//
+//mlec:hot
+func UnguardedSliceExpr(s []byte) int {
+	n := 0
+	for n < 10 {
+		s = s[8:] // want `slices s\[8:\] in a hot loop without a provable bound`
+		n++
+	}
+	return n
+}
+
+type queue struct {
+	items []int
+}
+
+func (q *queue) drop() {
+	if len(q.items) > 0 {
+		q.items = q.items[1:]
+	}
+}
+
+// FieldPeek proves a field-path fact: the loop condition re-establishes
+// len(q.items) >= 1 on every iteration, and nothing invalidates it
+// before the read.
+//
+//mlec:hot
+func FieldPeek(q *queue) int {
+	total := 0
+	for len(q.items) > 0 {
+		total += q.items[0]
+		q.drop()
+	}
+	return total
+}
+
+// FieldPeekAfterCall reads the field after a method call that may have
+// shrunk it: the call kills the fact, so the read is unprovable.
+//
+//mlec:hot
+func FieldPeekAfterCall(q *queue) int {
+	total := 0
+	for len(q.items) > 0 {
+		q.drop()
+		total += q.items[0] // want `indexes q\.items\[0\] in a hot loop without a provable bound`
+	}
+	return total
+}
+
+// OncePerCall indexes outside any loop: a single check is not a
+// steady-state cost, so no finding regardless of provability.
+//
+//mlec:hot
+func OncePerCall(s []byte) byte {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1]
+}
+
+// RegionHost is not hot itself; only the annotated loop is swept.
+func RegionHost(xs, ys []int) int {
+	total := xs[len(xs)-1] // outside the region: not swept
+	//mlec:hot region: the reduction loop
+	for i := range xs {
+		total += ys[i] // want `indexes ys\[i\] in a hot loop without a provable bound`
+	}
+	return total
+}
+
+// transitiveHelper is hot only by propagation from Caller; hotbce
+// sweeps directly annotated code only, so its unproven indexing is
+// not a finding.
+func transitiveHelper(xs []int) int {
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+//mlec:hot
+func Caller(xs []int) int {
+	return transitiveHelper(xs)
+}
+
+// Allowed suppresses a true finding with a reviewed directive.
+//
+//mlec:hot
+func Allowed(s []byte, n int) byte {
+	var acc byte
+	for i := 0; i < n; i++ {
+		//lint:allow hotbce n is validated against len(s) by every caller
+		acc ^= s[i]
+	}
+	return acc
+}
