@@ -6,7 +6,8 @@
 // Usage:
 //
 //	mlecvet [-only name,name] [-json] [-list] [-baseline file]
-//	        [-write-baseline] [-compiler] [-timeout D] [patterns...]
+//	        [-write-baseline] [-compiler] [-race-oracle] [-timeout D]
+//	        [patterns...]
 //
 // Patterns default to ./... and support ./dir and ./dir/... forms
 // rooted at the module. The exit status is 0 when the tree is clean, 1
@@ -20,6 +21,15 @@
 // compiler still checks, an eliminated check the engine cannot prove,
 // or an "inlinable" callee the inliner rejected — is printed to stdout,
 // and the exit status is 1 when any exist.
+//
+// With -race-oracle, mlecvet runs the race-detector oracle: the
+// concurrency analyzers (lockcheck, atomicmix, goleak, waitgroupcapture,
+// copylock) sweep the tree, a stress harness is generated for every
+// //mlec:guardedby annotation, and the annotated packages' test suites
+// run under `go test -race` in a throwaway GOCACHE. Every observed
+// data race must touch a file carrying a concurrency finding;
+// unexplained races are printed to stdout and fail the run with exit
+// status 1 (see internal/lint/raceoracle.go for the protocol).
 //
 // With -baseline, the exit status ratchets instead: the run fails only
 // when some analyzer reports more findings than the committed baseline
@@ -96,6 +106,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON file: fail only when an analyzer's finding count rises above it")
 	writeBaseline := flag.Bool("write-baseline", false, "rewrite the -baseline file with the current finding counts")
 	compiler := flag.Bool("compiler", false, "cross-check hot-loop claims against the compiler's check_bce and inliner diagnostics")
+	raceOracle := flag.Bool("race-oracle", false, "cross-check concurrency findings against `go test -race` plus the //mlec:guardedby stress harness")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for loading and analysis (0 = none)")
 	chaosFlags := faultinject.BindCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -153,6 +164,9 @@ func main() {
 	if *compiler {
 		os.Exit(runCompilerOracle(ctx, pkgs))
 	}
+	if *raceOracle {
+		os.Exit(runRaceOracle(ctx, pkgs))
+	}
 
 	type runResult struct {
 		diags []lint.Diagnostic
@@ -175,28 +189,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mlecvet:", ctx.Err())
 		os.Exit(2)
 	}
-	report := jsonReport{
-		Findings:            []jsonFinding{},
-		MalformedDirectives: []jsonPos{},
-	}
-	for _, pkg := range pkgs {
-		for _, pos := range pkg.Malformed {
-			report.MalformedDirectives = append(report.MalformedDirectives, toJSONPos(pos))
-		}
-		for _, pos := range pkg.MalformedUnit {
-			report.MalformedDirectives = append(report.MalformedDirectives, toJSONPos(pos))
-		}
-		for _, pos := range pkg.MalformedHot {
-			report.MalformedDirectives = append(report.MalformedDirectives, toJSONPos(pos))
-		}
-	}
-	for _, d := range diags {
-		report.Findings = append(report.Findings, jsonFinding{
-			jsonPos:  toJSONPos(d.Pos),
-			Analyzer: d.Analyzer,
-			Message:  d.Message,
-		})
-	}
+	report := buildReport(pkgs, diags)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -214,6 +207,9 @@ func main() {
 			}
 			for _, pos := range pkg.MalformedHot {
 				fmt.Printf("%s: directive: //mlec:hot anchors a function or statement; //mlec:cold anchors a function\n", pos)
+			}
+			for _, pos := range pkg.MalformedGuard {
+				fmt.Printf("%s: directive: //mlec:guardedby <field> anchors a struct field or package-level var, and the guard must be a sibling mutex\n", pos)
 			}
 		}
 		for _, d := range diags {
@@ -268,6 +264,58 @@ func main() {
 	if fail {
 		os.Exit(1)
 	}
+}
+
+// buildReport assembles the -json document. lint.Run already orders
+// findings by (file, line, column, analyzer); the sort here re-asserts
+// that contract defensively and extends it to the malformed-directive
+// list, which is collected per package and per directive kind and would
+// otherwise leak load order into the output CI diffs against.
+func buildReport(pkgs []*lint.Package, diags []lint.Diagnostic) jsonReport {
+	report := jsonReport{
+		Findings:            []jsonFinding{},
+		MalformedDirectives: []jsonPos{},
+	}
+	for _, pkg := range pkgs {
+		for _, group := range [][]token.Position{
+			pkg.Malformed, pkg.MalformedUnit, pkg.MalformedHot, pkg.MalformedGuard,
+		} {
+			for _, pos := range group {
+				report.MalformedDirectives = append(report.MalformedDirectives, toJSONPos(pos))
+			}
+		}
+	}
+	for _, d := range diags {
+		report.Findings = append(report.Findings, jsonFinding{
+			jsonPos:  toJSONPos(d.Pos),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(report.Findings, func(i, j int) bool {
+		a, b := report.Findings[i], report.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Column < b.Column
+	})
+	sort.Slice(report.MalformedDirectives, func(i, j int) bool {
+		a, b := report.MalformedDirectives[i], report.MalformedDirectives[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return report
 }
 
 // runCompilerOracle rebuilds the module with bounds-check and inliner

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"go/token"
+	"testing"
+
+	"mlec/internal/lint"
+)
+
+// TestBuildReportOrdering locks down the -json contract: findings come
+// out sorted by (file, line, analyzer) and malformed directives by
+// (file, line), whatever order the analyzers and packages produced
+// them in. CI archives the document and diffs runs against each other,
+// so any order leak is churn.
+func TestBuildReportOrdering(t *testing.T) {
+	pos := func(file string, line int) token.Position {
+		return token.Position{Filename: file, Line: line, Column: 1}
+	}
+	diags := []lint.Diagnostic{
+		{Pos: pos("b.go", 4), Analyzer: "lockcheck", Message: "m"},
+		{Pos: pos("a.go", 9), Analyzer: "goleak", Message: "m"},
+		{Pos: pos("a.go", 9), Analyzer: "atomicmix", Message: "m"},
+		{Pos: pos("a.go", 2), Analyzer: "lockcheck", Message: "m"},
+	}
+	pkgs := []*lint.Package{
+		{
+			MalformedHot:   []token.Position{pos("z.go", 3)},
+			MalformedGuard: []token.Position{pos("a.go", 7)},
+		},
+		{
+			Malformed:     []token.Position{pos("a.go", 1)},
+			MalformedUnit: []token.Position{pos("z.go", 1)},
+		},
+	}
+
+	report := buildReport(pkgs, diags)
+
+	wantFindings := []struct {
+		file     string
+		line     int
+		analyzer string
+	}{
+		{"a.go", 2, "lockcheck"},
+		{"a.go", 9, "atomicmix"},
+		{"a.go", 9, "goleak"},
+		{"b.go", 4, "lockcheck"},
+	}
+	if len(report.Findings) != len(wantFindings) {
+		t.Fatalf("got %d findings, want %d", len(report.Findings), len(wantFindings))
+	}
+	for i, w := range wantFindings {
+		g := report.Findings[i]
+		if g.File != w.file || g.Line != w.line || g.Analyzer != w.analyzer {
+			t.Errorf("finding[%d] = %s:%d %s, want %s:%d %s",
+				i, g.File, g.Line, g.Analyzer, w.file, w.line, w.analyzer)
+		}
+	}
+
+	wantMalformed := []struct {
+		file string
+		line int
+	}{
+		{"a.go", 1}, {"a.go", 7}, {"z.go", 1}, {"z.go", 3},
+	}
+	if len(report.MalformedDirectives) != len(wantMalformed) {
+		t.Fatalf("got %d malformed directives, want %d",
+			len(report.MalformedDirectives), len(wantMalformed))
+	}
+	for i, w := range wantMalformed {
+		g := report.MalformedDirectives[i]
+		if g.File != w.file || g.Line != w.line {
+			t.Errorf("malformed[%d] = %s:%d, want %s:%d", i, g.File, g.Line, w.file, w.line)
+		}
+	}
+}

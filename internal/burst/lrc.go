@@ -24,7 +24,8 @@ type LRCEvaluator struct {
 	// per ConditionalPDL call (default 8).
 	Assignments int
 
-	mu  sync.Mutex
+	mu sync.Mutex
+	//mlec:guardedby mu
 	rng *rand.Rand
 }
 

@@ -139,9 +139,12 @@ type Rule struct {
 type ruleState struct {
 	rule Rule
 
-	mu     sync.Mutex
-	hits   int64           // global hit counter (nth/every triggers)
-	fired  int             // fires so far (count cap)
+	mu sync.Mutex
+	//mlec:guardedby mu
+	hits int64 // global hit counter (nth/every triggers)
+	//mlec:guardedby mu
+	fired int // fires so far (count cap)
+	//mlec:guardedby mu
 	stream map[int64]int64 // per-stream hit counts (prob trigger)
 }
 
@@ -189,7 +192,8 @@ func Enabled() bool { return active.Load() != nil }
 // are resolved lazily but cached so repeated fires stay cheap.
 var (
 	injectedMu sync.Mutex
-	injectedC  = map[Kind]*obs.Counter{}
+	//mlec:guardedby injectedMu
+	injectedC = map[Kind]*obs.Counter{}
 )
 
 func recordFire(point string, kind Kind, stream int64) {

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix enforces that every field picks exactly one concurrency
+// regime. Mixing `sync/atomic` calls with plain loads and stores on the
+// same field is a data race the atomic half does nothing to prevent —
+// the plain access tears right past the atomic one — and mixing an
+// atomic regime with a //mlec:guardedby mutex claim means one of the
+// two disciplines is a lie. Three patterns are flagged:
+//
+//  1. a field (or package-level var) passed to a sync/atomic function
+//     in one place and read or written plainly in another: the plain
+//     sites are reported;
+//  2. an annotated guarded field also accessed via sync/atomic: the
+//     atomic site is reported (the annotation is the reviewed claim);
+//  3. an annotated guarded field whose type is itself from sync/atomic
+//     (atomic.Int64 and friends): the type already synchronizes, the
+//     mutex claim is contradictory, reported at the annotation.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag fields accessed both via sync/atomic and plain loads/stores, or both guarded and atomic",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	type site struct {
+		v   *types.Var
+		pos token.Pos
+	}
+	var atomicSites []site
+	// Spans of atomic call arguments, so the operand of
+	// atomic.AddInt64(&c.n, 1) is not also counted as a plain access.
+	type span struct{ lo, hi token.Pos }
+	var atomicSpans []span
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "sync/atomic" {
+				return true
+			}
+			for _, a := range call.Args {
+				u, ok := ast.Unparen(a).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if v := accessedVar(pass.Info, u.X); v != nil {
+					atomicSites = append(atomicSites, site{v, a.Pos()})
+					atomicSpans = append(atomicSpans, span{a.Pos(), a.End()})
+				}
+			}
+			return true
+		})
+	}
+
+	atomicVars := make(map[*types.Var]bool, len(atomicSites))
+	for _, s := range atomicSites {
+		atomicVars[s.v] = true
+	}
+	inAtomicArg := func(pos token.Pos) bool {
+		for _, s := range atomicSpans {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Plain accesses of atomically-used vars.
+	if len(atomicVars) > 0 {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var v *types.Var
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					v = accessedVar(pass.Info, n)
+				case *ast.Ident:
+					got, ok := pass.Info.Uses[n].(*types.Var)
+					if ok && !got.IsField() && got.Parent() == pass.Pkg.Scope() {
+						v = got
+					}
+				}
+				if v == nil || !atomicVars[v] || inAtomicArg(n.Pos()) {
+					return true
+				}
+				pass.Report(n.Pos(),
+					"%s is accessed with sync/atomic elsewhere but read/written plainly here; pick one regime",
+					v.Name())
+				return false
+			})
+		}
+	}
+
+	// Guarded + atomic on the same field: the atomic site contradicts
+	// the //mlec:guardedby claim.
+	for _, s := range atomicSites {
+		if pass.Facts.guardedFields[s.v] != nil || pass.Facts.guardedVars[s.v] != nil {
+			pass.Report(s.pos,
+				"%s is //mlec:guardedby-annotated but accessed via sync/atomic here; the mutex claim and the atomic access contradict",
+				s.v.Name())
+		}
+	}
+
+	// Guarded field of a sync/atomic type: the annotation itself is the
+	// contradiction. Restricted to this package's fields so every
+	// finding is reported exactly once.
+	var contradictory []*types.Var
+	for v := range pass.Facts.guardedFields {
+		if v.Pkg() == pass.Pkg && isAtomicType(v.Type()) {
+			contradictory = append(contradictory, v)
+		}
+	}
+	sort.Slice(contradictory, func(i, j int) bool { return contradictory[i].Pos() < contradictory[j].Pos() })
+	for _, v := range contradictory {
+		pass.Report(v.Pos(),
+			"%s has a sync/atomic type and a //mlec:guardedby annotation; the type already synchronizes, drop one",
+			v.Name())
+	}
+	return nil
+}
+
+// accessedVar resolves a selector (field access) or package-level ident
+// to its *types.Var, the unit atomicmix reasons about.
+func accessedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return nil
+		}
+		v, _ := sel.Obj().(*types.Var)
+		return v
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		if ok && !v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// isAtomicType reports whether t is declared in sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -48,6 +48,13 @@ type Block struct {
 type Graph struct {
 	// Entry is the block control enters first.
 	Entry *Block
+	// Exit is the synthetic block every function-leaving edge targets:
+	// falling off the end, return statements, and direct panic calls.
+	// A pass that must act on "every way out of the function" — the
+	// lock-state engine applying deferred unlocks, for instance —
+	// checks for edges into Exit rather than pattern-matching return
+	// statements itself.
+	Exit *Block
 	// Blocks lists every block, Entry first. Unreachable blocks are
 	// kept (they still hold nodes a dataflow pass may want to see).
 	Blocks []*Block
@@ -65,7 +72,7 @@ func Build(body *ast.BlockStmt) *Graph {
 		cur = b.stmtList(cur, body.List)
 	}
 	b.edge(cur, exit)
-	return &Graph{Entry: entry, Blocks: b.blocks}
+	return &Graph{Entry: entry, Exit: exit, Blocks: b.blocks}
 }
 
 // String renders the graph compactly for tests and debugging:
@@ -259,6 +266,21 @@ func (b *builder) stmt(cur *Block, s ast.Stmt, label string) *Block {
 		b.edge(cur, b.exit)
 		return nil
 
+	case *ast.ExprStmt:
+		// A direct call to the panic builtin leaves the function (to a
+		// recovering caller, if any): it ends the block with an exit
+		// edge, exactly like a return, so deferred cleanup analyses see
+		// the panic path and value analyses drop facts from the dead
+		// fall-through. Only the unshadowed builtin spelling is
+		// recognized; a call through a variable named panic is not Go
+		// anyone writes.
+		if isPanicCall(s.X) {
+			cur = b.add(cur, s)
+			b.edge(cur, b.exit)
+			return nil
+		}
+		return b.add(cur, s)
+
 	default:
 		// Assignments, declarations, expression statements, go/defer,
 		// sends, inc/dec, empty statements: straight-line nodes.
@@ -343,6 +365,16 @@ func (b *builder) branch(cur *Block, s *ast.BranchStmt) *Block {
 	return nil
 }
 
+// isPanicCall reports whether e is a direct call of the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
 // labelBlock returns the block for the named label, creating it when
 // the label has not been seen yet (a forward goto mentions the label
 // before its statement is built).
@@ -367,7 +399,7 @@ func (b *builder) labelBlock(name string) *Block {
 // self edge.
 func (g *Graph) LoopBlocks() map[*Block]bool {
 	n := len(g.Blocks)
-	index := make([]int, n)   // 0 = unvisited; otherwise order+1
+	index := make([]int, n) // 0 = unvisited; otherwise order+1
 	lowlink := make([]int, n)
 	onStack := make([]bool, n)
 	comp := make([]int, n) // component id per block; -1 = unassigned

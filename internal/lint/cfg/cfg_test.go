@@ -578,3 +578,155 @@ func TestCondSuccsOrderTrueFirst(t *testing.T) {
 		}
 	}
 }
+
+// edgesInto returns the blocks with a direct edge into target.
+func edgesInto(g *Graph, target *Block) []*Block {
+	var in []*Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == target {
+				in = append(in, b)
+				break
+			}
+		}
+	}
+	return in
+}
+
+func TestExitFieldIsTheExitBlock(t *testing.T) {
+	g := parse(t, `func f() { return }`)
+	if g.Exit == nil || g.Exit.Kind != "exit" {
+		t.Fatalf("Graph.Exit = %v, want the exit block: %s", g.Exit, g)
+	}
+	if len(g.Exit.Succs) != 0 {
+		t.Fatalf("exit block has successors: %s", g)
+	}
+}
+
+// TestPanicTerminatesBlock locks the panic-edge semantics the
+// lock-state engine leans on: a direct panic call ends its block with
+// an edge to Exit, and statements after it are unreachable from entry.
+func TestPanicTerminatesBlock(t *testing.T) {
+	g := parse(t, `func f(x bool) {
+	if x {
+		panic("bad")
+	}
+	use()
+}`)
+	// The then-branch must edge to Exit, not rejoin the if.done block:
+	// otherwise the panic path would appear to fall through to use().
+	var panicBlk *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok && isPanicCall(es.X) {
+				panicBlk = b
+			}
+		}
+	}
+	if panicBlk == nil {
+		t.Fatalf("no block holds the panic call: %s", g)
+	}
+	if len(panicBlk.Succs) != 1 || panicBlk.Succs[0] != g.Exit {
+		t.Fatalf("panic block succs = %v, want only the exit block: %s", panicBlk.Succs, g)
+	}
+}
+
+// TestPanicMakesFollowersUnreachable: nodes after an unconditional
+// panic are kept (for inspection) but not reachable from entry.
+func TestPanicMakesFollowersUnreachable(t *testing.T) {
+	g := parse(t, `func f() {
+	setup()
+	panic("always")
+	use()
+}`)
+	seen := reachable(g)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" && seen[b] {
+				t.Fatalf("use() after an unconditional panic is reachable: %s", g)
+			}
+		}
+	}
+	if nodeCount(g) != 2 { // setup() and panic() only
+		t.Fatalf("reachable node count = %d, want 2: %s", nodeCount(g), g)
+	}
+}
+
+// TestDeferStaysStraightLine: a defer statement is an ordinary node of
+// its block (the lock-state engine collects deferred unlocks from the
+// path state, not from special edges), and a defer after Lock shares
+// the Lock's block.
+func TestDeferStaysStraightLine(t *testing.T) {
+	g := parse(t, `func f() {
+	mu.Lock()
+	defer mu.Unlock()
+	work()
+}`)
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry has %d nodes, want Lock+defer+work in one block: %s", len(g.Entry.Nodes), g)
+	}
+	hasDefer := false
+	for _, n := range g.Entry.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			hasDefer = true
+		}
+	}
+	if !hasDefer {
+		t.Fatalf("entry block lost the DeferStmt node: %s", g)
+	}
+}
+
+// TestConditionalDeferOnOwnPath: a defer inside an if-branch appears
+// only in that branch's block, so a path-sensitive pass sees paths on
+// which the defer never registered — the conditional-defer negative
+// case of the lock-state engine.
+func TestConditionalDeferOnOwnPath(t *testing.T) {
+	g := parse(t, `func f(x bool) {
+	mu.Lock()
+	if x {
+		defer mu.Unlock()
+	}
+	work()
+}`)
+	deferBlocks := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				deferBlocks++
+				if b.Kind != "if.then" {
+					t.Fatalf("DeferStmt in %q block, want if.then: %s", b.Kind, g)
+				}
+			}
+		}
+	}
+	if deferBlocks != 1 {
+		t.Fatalf("found %d defer nodes, want 1: %s", deferBlocks, g)
+	}
+}
+
+// TestPanicAndReturnShareExit: every function-leaving path — fallthrough,
+// return, panic — converges on the single Exit block, which is what lets
+// an exit-edge pass apply deferred releases exactly once per path.
+func TestPanicAndReturnShareExit(t *testing.T) {
+	g := parse(t, `func f(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	if n == 0 {
+		return 0
+	}
+	return n + 1
+}`)
+	in := edgesInto(g, g.Exit)
+	if len(in) != 3 {
+		t.Fatalf("%d blocks edge into exit, want 3 (panic, return 0, return n+1): %s", len(in), g)
+	}
+}

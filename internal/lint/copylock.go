@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CopyLock flags by-value copies of lock-bearing values — structs (or
+// arrays of structs) that transitively contain a sync or sync/atomic
+// synchronization primitive. A copied mutex is a fork of the lock
+// state: both copies unlock independently, the guarded invariant
+// silently splits, and the race detector only notices once both halves
+// run. `go vet` catches the common intraprocedural sites; this
+// analyzer also covers declaration-site and flow sites vet skips —
+// value receivers and by-value parameters in function signatures,
+// returning a lock-bearing value loaded from existing storage, and
+// range-value iteration over a slice of lock-bearing elements.
+// Copies of freshly constructed values (composite literals, call
+// results) are not flagged: a value that existed only on the right-hand
+// side has no lock state to fork yet.
+var CopyLock = &Analyzer{
+	Name: "copylock",
+	Doc:  "flag by-value copies of lock-bearing structs: parameters, receivers, returns, assignments and range values",
+	Run:  runCopyLock,
+}
+
+func runCopyLock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, n.Recv, n.Type)
+			case *ast.FuncLit:
+				checkSignature(pass, nil, n.Type)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					// Assigning to the blank identifier evaluates and
+					// discards: no second copy of the lock survives.
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					checkCopyExpr(pass, rhs, "assignment copies")
+				}
+			case *ast.DeclStmt:
+				// handled by the GenDecl case below
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							checkCopyExpr(pass, v, "variable initialization copies")
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkCopyExpr(pass, r, "return copies")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := pass.Info.TypeOf(n.Value); t != nil && lockBearing(t) {
+						pass.Report(n.Value.Pos(),
+							"range value copies lock-bearing %s each iteration; range over indices or pointers instead",
+							types.TypeString(t, types.RelativeTo(pass.Pkg)))
+					}
+				}
+			case *ast.CallExpr:
+				checkCallArgs(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSignature flags value receivers and by-value parameters of
+// lock-bearing type — a copy on every call.
+func checkSignature(pass *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	report := func(field *ast.Field, what string) {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil || !lockBearing(t) {
+			return
+		}
+		pass.Report(field.Type.Pos(),
+			"%s lock-bearing %s by value; every call copies the lock state — use a pointer",
+			what, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+	if recv != nil {
+		for _, field := range recv.List {
+			report(field, "method receives")
+		}
+	}
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			report(field, "function takes")
+		}
+	}
+}
+
+// checkCopyExpr flags loading a lock-bearing value out of existing
+// storage (the copy forks live lock state). Fresh values — composite
+// literals, call results, conversions of fresh values — are exempt.
+func checkCopyExpr(pass *Pass, rhs ast.Expr, what string) {
+	if !copiesExistingStorage(rhs) {
+		return
+	}
+	t := pass.Info.TypeOf(rhs)
+	if t == nil || !lockBearing(t) {
+		return
+	}
+	pass.Report(rhs.Pos(), "%s lock-bearing %s by value; use a pointer",
+		what, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+}
+
+// checkCallArgs flags passing a lock-bearing value loaded from storage
+// as a call argument (the callee receives a copy).
+func checkCallArgs(pass *Pass, call *ast.CallExpr) {
+	for _, a := range call.Args {
+		if !copiesExistingStorage(a) {
+			continue
+		}
+		t := pass.Info.TypeOf(a)
+		if t == nil || !lockBearing(t) {
+			continue
+		}
+		pass.Report(a.Pos(), "call passes lock-bearing %s by value; use a pointer",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// copiesExistingStorage reports whether evaluating e loads a value that
+// already lives somewhere — an identifier, field, dereference, or
+// element — as opposed to constructing a fresh one.
+func copiesExistingStorage(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.IndexExpr:
+		return true
+	case *ast.TypeAssertExpr:
+		return true
+	case *ast.CallExpr:
+		// A conversion of an existing value still copies it; a real
+		// call returns a fresh value.
+		if len(e.Args) == 1 {
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Obj != nil {
+				if _, isType := id.Obj.Decl.(*ast.TypeSpec); isType {
+					return copiesExistingStorage(e.Args[0])
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// lockBearing reports whether t transitively contains a sync or
+// sync/atomic primitive by value, through structs and arrays. Pointers,
+// slices, maps and channels stop the walk: sharing through them is the
+// intended idiom.
+func lockBearing(t types.Type) bool {
+	return lockBearingRec(t, make(map[types.Type]bool))
+}
+
+func lockBearingRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				// noCopy-protected or state-bearing sync types. Locker
+				// is an interface and copies fine.
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return true
+				}
+			case "sync/atomic":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lockBearingRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockBearingRec(u.Elem(), seen)
+	}
+	return false
+}

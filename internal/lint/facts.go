@@ -53,6 +53,13 @@ type Facts struct {
 	domains   map[*types.Func]*domainSummary
 	mayFail   map[*types.Func]bool
 
+	// guardedFields and guardedVars merge the resolved //mlec:guardedby
+	// annotations across packages; locks holds the per-function lock
+	// summaries (see lockstate.go).
+	guardedFields map[*types.Var]*types.Var
+	guardedVars   map[*types.Var]*types.Var
+	locks         map[*types.Func]*lockSummary
+
 	// sccCount and maxSCCIters are recorded for tests and the
 	// benchmark: how big the condensation was and the deepest
 	// fixed-point iteration any component needed.
@@ -107,6 +114,9 @@ func NewFacts(pkgs []*Package) *Facts {
 		summaries: make(map[*types.Func]*funcSummary),
 		domains:   make(map[*types.Func]*domainSummary),
 		mayFail:   make(map[*types.Func]bool),
+
+		guardedFields: make(map[*types.Var]*types.Var),
+		guardedVars:   make(map[*types.Var]*types.Var),
 	}
 	seen := make(map[*Package]bool)
 	index := func(p *Package) {
@@ -137,6 +147,12 @@ func NewFacts(pkgs []*Package) *Facts {
 		for file, lines := range p.colds {
 			f.coldIdx[file] = lines
 		}
+		for field, mu := range p.guardedFields {
+			f.guardedFields[field] = mu
+		}
+		for v, mu := range p.guardedVars {
+			f.guardedVars[v] = mu
+		}
 	}
 	for _, p := range pkgs {
 		index(p)
@@ -155,6 +171,7 @@ func NewFacts(pkgs []*Package) *Facts {
 	f.computeAll(g)
 	f.computeHot(g)
 	f.computeAllocates(g)
+	f.computeLocks(g)
 	return f
 }
 

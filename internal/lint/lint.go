@@ -151,6 +151,10 @@ func All() []*Analyzer {
 		HotPrealloc,
 		HotBCE,
 		HotInline,
+		Lockcheck,
+		AtomicMix,
+		GoLeak,
+		CopyLock,
 	}
 }
 

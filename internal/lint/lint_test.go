@@ -164,6 +164,10 @@ func TestAnalyzers(t *testing.T) {
 		{HotPrealloc, "hotprealloc"},
 		{HotBCE, "hotbce"},
 		{HotInline, "hotinline"},
+		{Lockcheck, "lockcheck"},
+		{AtomicMix, "atomicmix"},
+		{GoLeak, "goleak"},
+		{CopyLock, "copylock"},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -206,6 +210,21 @@ func TestMalformedHotDirective(t *testing.T) {
 	pkg := loadFixture(t, l, "hotdirective")
 	if len(pkg.MalformedHot) != 3 {
 		t.Fatalf("got %d malformed hot/cold directives, want 3: %v", len(pkg.MalformedHot), pkg.MalformedHot)
+	}
+}
+
+// TestMalformedGuardDirective checks the //mlec:guardedby anchoring
+// rules: a guard naming no sibling mutex, a bare directive, and
+// directives on a type or function declaration are malformed, while
+// the valid annotation in the same file still feeds the lock engine
+// (the fixture's want comment proves it).
+func TestMalformedGuardDirective(t *testing.T) {
+	l := newFixtureLoader(t)
+	runFixture(t, l, Lockcheck, "guarddirective")
+	pkg := loadFixture(t, l, "guarddirective")
+	if len(pkg.MalformedGuard) != 4 {
+		t.Fatalf("got %d malformed //mlec:guardedby directives, want 4: %v",
+			len(pkg.MalformedGuard), pkg.MalformedGuard)
 	}
 }
 

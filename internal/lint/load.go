@@ -40,6 +40,16 @@ type Package struct {
 	// directives (see hot.go for the attachment and propagation rules).
 	hots  map[string]map[int]bool
 	colds map[string]map[int]bool
+	// guards maps filename → line → guard name declared at that line by
+	// //mlec:guardedby directives (see lockstate.go for the attachment
+	// rules and the lock-state engine that enforces them).
+	guards map[string]map[int]string
+	// guardedFields and guardedVars are the resolved //mlec:guardedby
+	// annotations of this package: struct field → sibling mutex field,
+	// and package-level var → package-level mutex var. Filled by
+	// validateGuardDirectives after type-checking.
+	guardedFields map[*types.Var]*types.Var
+	guardedVars   map[*types.Var]*types.Var
 	// Malformed records //lint:allow directives missing the mandatory
 	// analyzer name or reason; the driver reports them.
 	Malformed []token.Position
@@ -53,6 +63,11 @@ type Package struct {
 	// layer — the author believes a kernel is guarded when nothing is —
 	// so it is reported rather than ignored.
 	MalformedHot []token.Position
+	// MalformedGuard records //mlec:guardedby directives that name no
+	// guard, attach to nothing, or name a guard that does not resolve to
+	// a sibling mutex field (or package-level mutex var); the driver
+	// reports them for the same reason as MalformedHot.
+	MalformedGuard []token.Position
 }
 
 // allowed reports whether a diagnostic from the named analyzer at pos is
@@ -294,6 +309,7 @@ func (l *Loader) loadPath(path string) (*Package, error) {
 	}
 	pkg.collectAllows()
 	pkg.validateHotDirectives()
+	pkg.validateGuardDirectives()
 	l.pkgs[path] = pkg
 	return pkg, nil
 }
@@ -375,16 +391,46 @@ func parseAllowDirective(text string) (analyzer string, isDirective, ok bool) {
 	return fields[0], true, true
 }
 
-// collectAllows indexes //lint:allow, //mlec:unit and //mlec:hot /
-// //mlec:cold directives by file and line.
+// parseGuardDirective parses one comment's text as a //mlec:guardedby
+// directive. isGuard reports whether the comment is a guardedby
+// directive at all; ok reports whether it names exactly one guard.
+func parseGuardDirective(text string) (guard string, isGuard, ok bool) {
+	rest, found := strings.CutPrefix(text, "//mlec:guardedby")
+	if !found {
+		return "", false, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return "", true, false
+	}
+	return fields[0], true, true
+}
+
+// collectAllows indexes //lint:allow, //mlec:unit, //mlec:guardedby and
+// //mlec:hot / //mlec:cold directives by file and line.
 func (p *Package) collectAllows() {
 	p.allows = make(map[string]map[int]map[string]bool)
 	p.units = make(map[string]map[int]Domain)
 	p.hots = make(map[string]map[int]bool)
 	p.colds = make(map[string]map[int]bool)
+	p.guards = make(map[string]map[int]string)
 	for _, f := range p.Files {
 		for _, group := range f.Comments {
 			for _, c := range group.List {
+				if guard, isGuard, ok := parseGuardDirective(c.Text); isGuard {
+					pos := p.Fset.Position(c.Pos())
+					if !ok {
+						p.MalformedGuard = append(p.MalformedGuard, pos)
+						continue
+					}
+					byLine := p.guards[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]string)
+						p.guards[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = guard
+					continue
+				}
 				if kind, isHot := parseHotDirective(c.Text); isHot {
 					pos := p.Fset.Position(c.Pos())
 					byLine := p.hots

@@ -1,0 +1,58 @@
+// Package atomicmix exercises the atomic-consistency analyzer: a field
+// must pick one regime — sync/atomic calls, plain access under a
+// mutex, or an atomic type — and never mix them.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Hits struct {
+	n     int64
+	clean atomic.Int64
+}
+
+// Inc uses the atomic regime for n.
+func (h *Hits) Inc() {
+	atomic.AddInt64(&h.n, 1)
+}
+
+// Racy reads the same field plainly: the read can tear past the
+// atomic writer.
+func (h *Hits) Racy() int64 {
+	return h.n // want `n is accessed with sync/atomic elsewhere but read/written plainly here`
+}
+
+// Reset writes it plainly.
+func (h *Hits) Reset() {
+	h.n = 0 // want `n is accessed with sync/atomic elsewhere but read/written plainly here`
+}
+
+// CleanUse is single-regime: the atomic type synchronizes every access.
+func (h *Hits) CleanUse() int64 {
+	return h.clean.Load()
+}
+
+type Mixed struct {
+	mu sync.Mutex
+	//mlec:guardedby mu
+	v int64
+	//mlec:guardedby mu
+	a atomic.Int64 // want `a has a sync/atomic type and a //mlec:guardedby annotation`
+}
+
+// Bump contradicts v's mutex claim with an atomic access.
+func (m *Mixed) Bump() {
+	atomic.AddInt64(&m.v, 1) // want `v is //mlec:guardedby-annotated but accessed via sync/atomic here`
+}
+
+var total int64
+
+// IncTotal uses the atomic regime for the package-level counter.
+func IncTotal() { atomic.AddInt64(&total, 1) }
+
+// ReadTotal reads it plainly.
+func ReadTotal() int64 {
+	return total // want `total is accessed with sync/atomic elsewhere but read/written plainly here`
+}

@@ -1,0 +1,86 @@
+// Package copylock exercises the lock-copy analyzer: by-value copies
+// of structs that transitively contain a sync or sync/atomic
+// primitive, at declaration sites and flow sites.
+package copylock
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Plain struct{ n int }
+
+// ByValueParam copies the lock state on every call.
+func ByValueParam(g Guarded) int { // want `function takes lock-bearing Guarded by value`
+	return g.n
+}
+
+// PointerParam is the idiom.
+func PointerParam(g *Guarded) int { return g.n }
+
+// Get copies the receiver — and with it the mutex — on every call.
+func (g Guarded) Get() int { // want `method receives lock-bearing Guarded by value`
+	return g.n
+}
+
+// PlainValue is fine: nothing lock-bearing inside.
+func PlainValue(p Plain) int { return p.n }
+
+// CopyAssign forks live lock state into tmp.
+func CopyAssign(g *Guarded) {
+	tmp := *g // want `assignment copies lock-bearing Guarded by value`
+	_ = tmp
+}
+
+// FreshValue is fine: a composite literal has no lock state to fork.
+func FreshValue() *Guarded {
+	g := Guarded{}
+	return &g
+}
+
+type Holder struct{ g Guarded }
+
+// Snapshot returns stored lock state by value.
+func (h *Holder) Snapshot() Guarded {
+	return h.g // want `return copies lock-bearing Guarded by value`
+}
+
+// Sum copies each element — mutex included — into the range value.
+func Sum(gs []Guarded) int {
+	t := 0
+	for _, g := range gs { // want `range value copies lock-bearing Guarded each iteration`
+		t += g.n
+	}
+	return t
+}
+
+// SumIdx is the blessed pattern: index, don't copy.
+func SumIdx(gs []Guarded) int {
+	t := 0
+	for i := range gs {
+		t += gs[i].n
+	}
+	return t
+}
+
+// Consume hands a stored element to a by-value parameter.
+func Consume(gs []Guarded) {
+	ByValueParam(gs[0]) // want `call passes lock-bearing Guarded by value`
+}
+
+type Tracker struct{ wg sync.WaitGroup }
+
+// CopyTracker copies a WaitGroup's counter out of storage.
+func CopyTracker(t *Tracker) Tracker {
+	return *t // want `return copies lock-bearing Tracker by value`
+}
+
+type Stat struct{ v atomic.Int64 }
+
+// TakeStat copies an atomic value, losing its address identity.
+func TakeStat(s Stat) {} // want `function takes lock-bearing Stat by value`

@@ -1,0 +1,34 @@
+// Package guarddirective exercises the //mlec:guardedby anchoring
+// rules: a well-formed annotation must feed the lock-state engine
+// (proven by the expectation on Touch below), while a guard naming no
+// sibling mutex, a bare directive, and directives anchored to nothing
+// are all recorded as malformed.
+package guarddirective
+
+import "sync"
+
+type Good struct {
+	mu sync.Mutex
+	//mlec:guardedby mu
+	n int
+}
+
+// Touch proves the valid annotation resolved.
+func (g *Good) Touch() {
+	g.n++ // want `n is written without holding g.mu`
+}
+
+type Bad struct {
+	mu sync.Mutex
+	//mlec:guardedby missing
+	n int
+}
+
+//mlec:guardedby
+type Dangling struct{ n int }
+
+//mlec:guardedby nothing
+var floating int
+
+//mlec:guardedby mu
+func NotAField() {}

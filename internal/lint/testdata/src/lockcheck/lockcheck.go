@@ -1,0 +1,197 @@
+// Package lockcheck exercises the lock-state engine: //mlec:guardedby
+// access checks, double-lock, unlock balance on return and panic
+// edges, deferred unlocks, and interprocedural requires / acquires /
+// releases summaries.
+package lockcheck
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	//mlec:guardedby mu
+	n int
+}
+
+// Good holds the lock with the canonical defer idiom.
+func (c *Counter) Good() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// DirectUnlock holds the lock with a paired direct unlock.
+func (c *Counter) DirectUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Bad touches guarded state with no lock from an exported method.
+func (c *Counter) Bad() {
+	c.n++ // want `n is written without holding c.mu`
+}
+
+func (c *Counter) DoubleLock() {
+	c.mu.Lock()
+	c.mu.Lock() // want `double Lock of c.mu on this path`
+	c.n++
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func (c *Counter) EarlyReturn(cond bool) {
+	c.mu.Lock()
+	if cond {
+		return // want `c.mu is still held when the function exits here`
+	}
+	c.mu.Unlock()
+}
+
+func (c *Counter) PanicPath(bad bool) {
+	c.mu.Lock()
+	if bad {
+		panic("bad") // want `c.mu is still held when the function exits here`
+	}
+	c.mu.Unlock()
+}
+
+// DeferredPanic is clean: the deferred unlock covers the panic edge.
+func (c *Counter) DeferredPanic(bad bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bad {
+		panic("bad")
+	}
+	c.n++
+}
+
+// CondDefer is clean: the deferring path returns before the merge and
+// the other path unlocks directly.
+func (c *Counter) CondDefer(cond bool) {
+	c.mu.Lock()
+	if cond {
+		defer c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+}
+
+// CondDeferBad registers the unlock on only one path into the final
+// merge, so the fall-off-the-end exit can still hold the lock.
+func (c *Counter) CondDeferBad(cond bool) {
+	c.mu.Lock()
+	if cond {
+		defer c.mu.Unlock()
+	}
+} // want `c.mu is still held when the function exits here`
+
+func (c *Counter) UnheldUnlock() {
+	c.mu.Unlock() // want `Unlock of c.mu which is not held on this path`
+}
+
+// bump is an unexported helper: the unheld guarded access becomes a
+// requires fact pushed onto callers instead of a finding here.
+func (c *Counter) bump() {
+	c.n++
+}
+
+// Caller satisfies bump's requirement.
+func (c *Counter) Caller() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+}
+
+// BadCaller does not.
+func (c *Counter) BadCaller() {
+	c.bump() // want `calling bump requires holding c.mu`
+}
+
+// lockAndGet is an acquire helper by naming convention: it returns
+// with the lock held, recorded in its acquires summary.
+func (c *Counter) lockAndGet() int {
+	c.mu.Lock()
+	return c.n
+}
+
+// release is an unlock helper: releasing a lock it never took is
+// recorded in its releases summary.
+func (c *Counter) release() {
+	c.mu.Unlock()
+}
+
+// UseHelpers is clean: the helper summaries balance the pair.
+func (c *Counter) UseHelpers() {
+	v := c.lockAndGet()
+	c.n = v
+	c.release()
+}
+
+// Deadlock calls a method whose summary says it takes c.mu internally.
+func (c *Counter) Deadlock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Good() // want `calling Good, which locks c.mu internally, while already holding it`
+}
+
+// Spawn leaks guarded access into a goroutine: inside the goroutine
+// there is no caller left to satisfy a requires fact, so strict mode
+// reports it.
+func (c *Counter) Spawn(done chan struct{}) {
+	go func() {
+		c.n++ // want `n is written inside a goroutine without holding c.mu`
+		close(done)
+	}()
+	<-done
+}
+
+// NewCounter is the construct-then-publish idiom: a locally born value
+// has no concurrent readers yet.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+type Stats struct {
+	rw sync.RWMutex
+	//mlec:guardedby rw
+	total float64
+}
+
+// Read is clean: a read lock suffices for reading.
+func (s *Stats) Read() float64 {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.total
+}
+
+// WriteUnderRead writes with only the read lock held.
+func (s *Stats) WriteUnderRead(v float64) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.total = v // want `total is written without holding s.rw`
+}
+
+func (s *Stats) LockWhileRead() {
+	s.rw.RLock()
+	s.rw.Lock() // want `Lock of s.rw while its read lock is held on this path`
+	s.rw.Unlock()
+	s.rw.RUnlock()
+}
+
+var stateMu sync.Mutex
+
+//mlec:guardedby stateMu
+var registry = map[string]int{}
+
+// Register is clean: package-level guard held.
+func Register(k string) {
+	stateMu.Lock()
+	defer stateMu.Unlock()
+	registry[k] = 1
+}
+
+func BadRegister(k string) {
+	registry[k] = 1 // want `registry is written without holding stateMu`
+}

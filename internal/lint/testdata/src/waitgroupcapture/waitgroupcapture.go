@@ -91,3 +91,32 @@ func ParamPass() {
 	}
 	wg.Wait()
 }
+
+// AddInGoroutine moves the Add inside the spawned body: the spawner
+// may already be blocked in Wait when it runs (Add-after-Wait race).
+func AddInGoroutine() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		wg.Add(1) // want `wg.Add inside the spawned goroutine races a concurrent Wait`
+		defer wg.Done()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// OwnWaitGroup declares the WaitGroup inside the goroutine: private,
+// exempt.
+func OwnWaitGroup() {
+	done := make(chan struct{})
+	go func() {
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+		}()
+		inner.Wait()
+		close(done)
+	}()
+	<-done
+}

@@ -22,6 +22,13 @@ import (
 //     pre-allocated slice (slots[i] = …) is the blessed pattern and is
 //     not flagged; direct writes (sum += x, done++) are, unless the
 //     goroutine body acquires a mutex.
+//
+//  3. wg.Add must not run inside the spawned goroutine itself — the
+//     spawner may already be blocked in Wait when the Add executes
+//     (the Add-after-Wait race). The check is shared with goleak
+//     (goleak.go), whose lifecycle summaries subsume this analyzer's
+//     lexical rules; the waitgroupcapture name is kept as the
+//     established alias for the loop-discipline findings.
 var WaitGroupCapture = &Analyzer{
 	Name: "waitgroupcapture",
 	Doc:  "flag worker-pool loops capturing loop variables or racing on shared accumulators",
@@ -30,6 +37,15 @@ var WaitGroupCapture = &Analyzer{
 
 func runWaitGroupCapture(pass *Pass) error {
 	for _, f := range pass.Files {
+		// Rule 3 applies to every spawned literal, in or out of a loop.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+					reportAddInsideGoroutine(pass, lit)
+				}
+			}
+			return true
+		})
 		ast.Inspect(f, func(n ast.Node) bool {
 			var body *ast.BlockStmt
 			loopVars := make(map[types.Object]bool)

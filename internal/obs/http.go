@@ -60,7 +60,8 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	}
 	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 10 * time.Second}
 	//lint:allow barego the observability endpoint outlives any one run and owns no simulation state; runctl cannot host it because runctl imports obs
-	go func() { _ = srv.Serve(ln) }()
+	go func() { _ = srv.Serve(ln) }() //lint:allow goleak Server.Close closes the listener, which makes srv.Serve return; the join point is the Close call, not a channel the analyzer can see
+
 	return &Server{ln: ln, srv: srv}, nil
 }
 

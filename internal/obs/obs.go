@@ -48,7 +48,8 @@ import (
 // Registry holds named metrics. The zero value is not usable; use
 // NewRegistry, or the package-level Default shared by the engines.
 type Registry struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//mlec:guardedby mu
 	metrics map[string]any // *Counter | *FloatCounter | *Gauge | *FloatGauge | *Histogram
 }
 

@@ -13,7 +13,8 @@ import (
 // tasks on the package-level Progress tracker; the -progress reporter
 // renders them periodically to stderr.
 type Tracker struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	//mlec:guardedby mu
 	tasks []*Task
 }
 
@@ -35,12 +36,17 @@ type Task struct {
 	done atomic.Int64
 	goal atomic.Int64 // <= 0 means unknown
 
-	mu        sync.Mutex
-	level     int
-	maxLevel  int
+	mu sync.Mutex
+	//mlec:guardedby mu
+	level int
+	//mlec:guardedby mu
+	maxLevel int
+	//mlec:guardedby mu
 	occupancy float64 // meaningful when level > 0
-	ciWidth   float64 // meaningful when > 0
-	note      string
+	//mlec:guardedby mu
+	ciWidth float64 // meaningful when > 0
+	//mlec:guardedby mu
+	note string
 }
 
 // StartTask registers a new task with the tracker. goal is the target

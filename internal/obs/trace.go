@@ -60,11 +60,15 @@ const traceFlushThreshold = 64 * 1024
 type Recorder struct {
 	on atomic.Bool
 
-	mu   sync.Mutex
+	mu sync.Mutex
+	//mlec:guardedby mu
 	sink io.Writer
-	buf  bytes.Buffer
-	seq  uint64
-	err  error // first write/encode error; emission stops on it
+	//mlec:guardedby mu
+	buf bytes.Buffer
+	//mlec:guardedby mu
+	seq uint64
+	//mlec:guardedby mu
+	err error // first write/encode error; emission stops on it
 }
 
 // Trace is the process-wide recorder; -trace-out starts it.

@@ -40,7 +40,8 @@ type Pool struct {
 	wg       sync.WaitGroup
 	attempts int
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//mlec:guardedby mu
 	first error
 }
 
