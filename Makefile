@@ -5,7 +5,7 @@ GO ?= go
 # Packages with worker pools / goroutine fan-out: the race-detector set.
 RACE_PKGS = ./internal/burst ./internal/poolsim ./internal/rs ./internal/syssim ./internal/cluster ./internal/runctl ./internal/obs
 
-.PHONY: check build vet lint test race stress bench bench-json fuzz obs-smoke chaos oracle race-oracle
+.PHONY: check build vet lint test race stress bench bench-json bench-engines bench-engines-compare fuzz obs-smoke chaos oracle race-oracle
 
 ## check: build + vet + mlecvet + tests + race tests — the CI gate.
 check: build vet lint test race stress obs-smoke chaos
@@ -87,6 +87,19 @@ bench-json:
 ## baseline; warns on kernels that lost >20% GB/s, never fails.
 bench-compare:
 	$(GO) run ./cmd/mlecbench -label compare -out /tmp/mlec-bench-compare.json -against BENCH_gf256.json
+
+## bench-engines: refresh the committed engine benchmark baseline
+## (BENCH_engines.json): events per wall second for the pinned-seed
+## poolsim / syssim / burst campaigns, counted by the engines' own obs
+## counters. Same LABEL/APPEND discipline as bench-json.
+bench-engines:
+	$(GO) run ./cmd/mlecperf -label $(LABEL) -out BENCH_engines.json $(if $(APPEND),-append)
+
+## bench-engines-compare: one throwaway engine run compared against the
+## committed baseline; warns on engines that lost >20% events/sec,
+## never fails.
+bench-engines-compare:
+	$(GO) run ./cmd/mlecperf -label compare -out /tmp/mlec-perf-compare.json -against BENCH_engines.json
 
 ## fuzz: short fuzzing smoke of the hand-written parsers (failure-trace
 ## files, //lint:allow directives). `go test -fuzz` accepts a single

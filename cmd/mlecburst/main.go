@@ -79,6 +79,7 @@ func main() {
 		fatalUsage("unknown scheme %q", *schemeName)
 	}
 
+	obsFlags.SetSeed(*seed)
 	stopObs, err := obsFlags.Activate(os.Stderr)
 	if err != nil {
 		fatalUsage("%v", err)

@@ -77,6 +77,7 @@ func main() {
 		}
 	}
 
+	obsFlags.SetSeed(*seed)
 	stopObs, err := obsFlags.Activate(os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mlecsim: %v\n", err)
@@ -99,7 +100,12 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := mlec.RunExperimentContext(ctx, id, opts, os.Stdout); err != nil {
+		span := obs.StartSpan("mlecsim.experiment")
+		err := mlec.RunExperimentContext(ctx, id, opts, os.Stdout)
+		if span != nil {
+			span.EndNote(id)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "mlecsim: %s: %v\n", id, err)
 			stopObs() // os.Exit skips defers; flush the trace first
 			os.Exit(1)

@@ -15,7 +15,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"mlec/internal/failure"
 	"mlec/internal/faultinject"
@@ -41,6 +44,8 @@ func main() {
 		err = cmdReplay(args)
 	case "events":
 		err = cmdEvents(args)
+	case "spans":
+		err = cmdSpans(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -58,7 +63,8 @@ usage:
   mlectrace gen -disks N -years Y [-afr F] [-weibull-shape K] [-seed S]   write a trace to stdout
   mlectrace stats                                                          summarize a trace from stdin
   mlectrace replay -disks N [-kl K -pl P] [-dp] [-seed S]                  replay a trace through a pool simulation
-  mlectrace events [-kind K]                                               summarize a -trace-out JSONL event trace from stdin`)
+  mlectrace events [-kind K]                                               summarize a -trace-out JSONL event trace from stdin
+  mlectrace spans                                                          render a -span-out JSONL wall-clock span file from stdin`)
 }
 
 func cmdGen(args []string) error {
@@ -165,6 +171,14 @@ func cmdEvents(args []string) error {
 		}
 		return nil
 	}
+	writeEventSummary(os.Stdout, evs)
+	return nil
+}
+
+// writeEventSummary renders the per-kind counts (with each kind's
+// description from the obs event registry), the simulated span covered,
+// and repair traffic by method.
+func writeEventSummary(w io.Writer, evs []obs.TraceEvent) {
 	counts := make(map[string]int)
 	repairBytes := make(map[string]float64)
 	span := 0.0
@@ -177,18 +191,146 @@ func cmdEvents(args []string) error {
 			span = ev.T
 		}
 	}
-	fmt.Printf("events:         %d\n", len(evs))
-	fmt.Printf("simulated span: %.2f years\n", span/failure.HoursPerYear)
+	describe := obs.KnownEventKinds()
+	fmt.Fprintf(w, "events:         %d\n", len(evs))
+	fmt.Fprintf(w, "simulated span: %.2f years\n", span/failure.HoursPerYear)
 	for _, kv := range obs.SortedSnapshot(counts) {
-		fmt.Printf("  %-16s %d\n", kv.Key, kv.Value)
+		fmt.Fprintf(w, "  %-20s %6d  %s\n", kv.Key, kv.Value, describe[kv.Key])
 	}
 	if len(repairBytes) > 0 {
-		fmt.Println("repair traffic by method:")
+		fmt.Fprintln(w, "repair traffic by method:")
 		for _, kv := range obs.SortedSnapshot(repairBytes) {
-			fmt.Printf("  %-8s %.3g bytes\n", kv.Key, kv.Value)
+			fmt.Fprintf(w, "  %-8s %.3g bytes\n", kv.Key, kv.Value)
 		}
 	}
+}
+
+// cmdSpans renders a wall-clock span file (the JSONL a -span-out run
+// writes): the causal span tree, a per-phase wall-time rollup, and the
+// critical path — the chain of longest spans from the longest root down
+// to a leaf, the first place to look when deciding what to optimize.
+func cmdSpans(args []string) error {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	recs, err := obs.ParseSpans(os.Stdin)
+	if err != nil {
+		return err
+	}
+	writeSpanReport(os.Stdout, recs)
 	return nil
+}
+
+func writeSpanReport(w io.Writer, recs []obs.SpanRecord) {
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "no spans")
+		return
+	}
+	byID := make(map[uint64]obs.SpanRecord, len(recs))
+	children := make(map[uint64][]obs.SpanRecord)
+	var roots []obs.SpanRecord
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	for _, r := range recs {
+		if _, ok := byID[r.Parent]; r.Parent != 0 && ok {
+			children[r.Parent] = append(children[r.Parent], r)
+		} else {
+			// True roots, plus orphans whose parent never ended (an
+			// unended span writes no record).
+			roots = append(roots, r)
+		}
+	}
+	byBegin := func(s []obs.SpanRecord) {
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].BeginMS < s[j].BeginMS {
+				return true
+			}
+			if s[i].BeginMS > s[j].BeginMS {
+				return false
+			}
+			return s[i].ID < s[j].ID
+		})
+	}
+	byBegin(roots)
+	for _, c := range children {
+		byBegin(c)
+	}
+
+	fmt.Fprintf(w, "spans: %d\n", len(recs))
+	fmt.Fprintln(w, "span tree:")
+	var walk func(r obs.SpanRecord, depth int)
+	walk = func(r obs.SpanRecord, depth int) {
+		note := ""
+		if r.Note != "" {
+			note = "  " + r.Note
+		}
+		fmt.Fprintf(w, "  %s%s %s%s\n", strings.Repeat("  ", depth), r.Name, formatMS(r.Dur()), note)
+		for _, c := range children[r.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+
+	type rollup struct {
+		count int
+		total float64
+		max   float64
+	}
+	byName := make(map[string]rollup)
+	for _, r := range recs {
+		ru := byName[r.Name]
+		ru.count++
+		ru.total += r.Dur()
+		if r.Dur() > ru.max {
+			ru.max = r.Dur()
+		}
+		byName[r.Name] = ru
+	}
+	fmt.Fprintln(w, "wall time by phase:")
+	for _, kv := range obs.SortedSnapshot(byName) {
+		ru := kv.Value
+		fmt.Fprintf(w, "  %-28s n=%-6d total %s  max %s\n", kv.Key, ru.count, formatMS(ru.total), formatMS(ru.max))
+	}
+
+	// Critical path: from the longest root, repeatedly descend into the
+	// longest child. Concurrent siblings overlap in wall time, so this
+	// chain is the one whose spans bound the run's duration.
+	longest := roots[0]
+	for _, r := range roots[1:] {
+		if r.Dur() > longest.Dur() {
+			longest = r
+		}
+	}
+	fmt.Fprintln(w, "critical path:")
+	for cur, depth := longest, 0; ; depth++ {
+		fmt.Fprintf(w, "  %s%s %s\n", strings.Repeat("  ", depth), cur.Name, formatMS(cur.Dur()))
+		kids := children[cur.ID]
+		if len(kids) == 0 {
+			break
+		}
+		next := kids[0]
+		for _, c := range kids[1:] {
+			if c.Dur() > next.Dur() {
+				next = c
+			}
+		}
+		cur = next
+	}
+}
+
+// formatMS renders a millisecond duration compactly.
+func formatMS(ms float64) string {
+	switch {
+	case ms >= 60_000:
+		return fmt.Sprintf("%.1fmin", ms/60_000)
+	case ms >= 1000:
+		return fmt.Sprintf("%.2fs", ms/1000)
+	}
+	return fmt.Sprintf("%.1fms", ms)
 }
 
 func cmdReplay(args []string) error {

@@ -262,8 +262,15 @@ func PDLContext(ctx context.Context, ev Evaluator, x, y, trials int, seed int64,
 	}
 	task.SetDone(int64(restored))
 	trialCount := obs.Default.Counter("burst_pdl_trials_total")
+	trialMeter := obs.Default.Meter("burst_pdl_trials_per_sec")
 	batchCount := obs.Default.Counter("burst_pdl_batches_total")
 	ciwGauge := obs.Default.FloatGauge("burst_pdl_ci_width")
+	span := obs.StartSpan("burst.pdl")
+	defer func() {
+		if span != nil {
+			span.EndNote(fmt.Sprintf("x=%d y=%d trials=%d", x, y, trials))
+		}
+	}()
 
 	cellSeed := seed ^ int64(x)<<20 ^ int64(y)
 	for start := 0; start < nb; {
@@ -280,6 +287,8 @@ func PDLContext(ctx context.Context, ev Evaluator, x, y, trials int, seed int64,
 			break
 		}
 		pool := runctl.NewPool(ctx)
+		//lint:allow walltime the span is an opaque obs handle the pool only hands back to obs for stream children; no wall-clock value reaches the simulation
+		pool.SetParentSpan(span)
 		for _, b := range round {
 			b := b
 			stream := rngsplit.Mix(cellSeed, b)
@@ -314,6 +323,7 @@ func PDLContext(ctx context.Context, ev Evaluator, x, y, trials int, seed int64,
 				ck.Sums[b], ck.Sum2s[b], ck.Ns[b] = sum, sum2, hi-lo
 				ck.Done[b] = true
 				trialCount.Add(int64(hi - lo))
+				trialMeter.Add(float64(hi - lo))
 				batchCount.Inc()
 				task.Add(int64(hi - lo))
 				return nil

@@ -5,46 +5,88 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 )
 
-// CLIFlags carries the three observability flags every Monte-Carlo CLI
+// CLIFlags carries the observability flags every Monte-Carlo CLI
 // exposes. Bind them before flag.Parse, then Activate after argument
 // validation; the returned stop function flushes and shuts everything
 // down and must run before the process exits (including error paths
 // that call os.Exit, which skip defers).
 type CLIFlags struct {
-	Endpoint string        // -obs: HTTP listen address, "" = off
-	Every    time.Duration // -progress: render interval, 0 = off
-	TraceOut string        // -trace-out: JSONL trace path, "" = off
+	Endpoint   string        // -obs: HTTP listen address, "" = off
+	Every      time.Duration // -progress: render interval, 0 = off
+	TraceOut   string        // -trace-out: JSONL trace path, "" = off
+	SpanOut    string        // -span-out: JSONL wall-clock span path, "" = off
+	RunReport  string        // -run-report: RUNREPORT.json path, "" = off
+	ProfileDir string        // -profile-dir: pprof cpu+heap capture dir, "" = off
+
+	tool string // basename of the binary, recorded in run reports
+	seed int64  // campaign seed, recorded in run reports via SetSeed
 }
 
-// BindCLIFlags registers -obs, -progress and -trace-out on fs.
+// BindCLIFlags registers the observability flags on fs.
 func BindCLIFlags(fs *flag.FlagSet) *CLIFlags {
-	f := &CLIFlags{}
+	f := &CLIFlags{tool: filepath.Base(fs.Name())}
 	fs.StringVar(&f.Endpoint, "obs", "",
 		"serve observability HTTP endpoint on this address (/metrics, /metrics.json, /debug/pprof)")
 	fs.DurationVar(&f.Every, "progress", 0,
 		"render a progress report to stderr at this interval (0 disables)")
 	fs.StringVar(&f.TraceOut, "trace-out", "",
 		"write a simulated-time JSONL event trace to this file")
+	fs.StringVar(&f.SpanOut, "span-out", "",
+		"write wall-clock causal spans (JSONL) to this file (read back by mlectrace spans)")
+	fs.StringVar(&f.RunReport, "run-report", "",
+		"write a versioned per-run performance report (JSON) to this file at exit")
+	fs.StringVar(&f.ProfileDir, "profile-dir", "",
+		"capture pprof cpu.pprof + heap.pprof profiles into this directory")
 	return f
 }
 
+// SetSeed records the campaign seed for the run report; call it after
+// flag parsing, before the run.
+func (f *CLIFlags) SetSeed(seed int64) { f.seed = seed }
+
 // Activate starts whatever the parsed flags ask for: the HTTP endpoint
-// (its resolved address is announced on errw), the trace recorder, and
-// the progress reporter. The returned stop function is idempotent and
-// reports the first trace-write error to errw. Observability failing
-// to start is a usage error, not a reason to corrupt a long run, so
-// Activate fails fast before any engine work begins.
+// (its resolved address is announced on errw), the trace and span
+// recorders, the progress reporter, and CPU profiling. The returned
+// stop function is idempotent, reports recorder errors to errw, and —
+// because it marks the end of the measured run — finalizes the wall
+// clock, writes the heap profile, and emits the run report.
+// Observability failing to start is a usage error, not a reason to
+// corrupt a long run, so Activate fails fast before any engine work
+// begins.
 func (f *CLIFlags) Activate(errw io.Writer) (func(), error) {
 	var (
-		srv       *Server
-		traceFile *os.File
-		quit      chan struct{}
-		ticked    chan struct{}
+		srv        *Server
+		traceFile  *os.File
+		spanFile   *os.File
+		cpuProfile *os.File
+		quit       chan struct{}
+		ticked     chan struct{}
+		reported   bool
 	)
+	begin := time.Now()
 	stop := func() {
+		if cpuProfile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuProfile.Close(); err != nil {
+				fmt.Fprintf(errw, "obs: profile: %v\n", err)
+			}
+			cpuProfile = nil
+			writeHeapProfile(filepath.Join(f.ProfileDir, "heap.pprof"), errw)
+		}
+		if f.RunReport != "" && !reported {
+			reported = true
+			rep := BuildRunReport(f.tool, os.Args[1:], f.seed, time.Since(begin), Default)
+			rep.ProfileDir = f.ProfileDir
+			if err := WriteRunReport(f.RunReport, rep); err != nil {
+				fmt.Fprintf(errw, "obs: %v\n", err)
+			}
+		}
 		if quit != nil {
 			close(quit)
 			<-ticked
@@ -65,6 +107,15 @@ func (f *CLIFlags) Activate(errw io.Writer) (func(), error) {
 			}
 			traceFile = nil
 		}
+		if spanFile != nil {
+			if err := Spans.Stop(); err != nil {
+				fmt.Fprintf(errw, "obs: spans: %v\n", err)
+			}
+			if err := spanFile.Close(); err != nil {
+				fmt.Fprintf(errw, "obs: spans: %v\n", err)
+			}
+			spanFile = nil
+		}
 	}
 
 	if f.TraceOut != "" {
@@ -76,6 +127,38 @@ func (f *CLIFlags) Activate(errw io.Writer) (func(), error) {
 		if err := Trace.Start(traceFile); err != nil {
 			_ = traceFile.Close()
 			return nil, err
+		}
+	}
+	if f.SpanOut != "" {
+		var err error
+		spanFile, err = os.Create(f.SpanOut)
+		if err != nil {
+			stop()
+			return nil, fmt.Errorf("obs: spans: %w", err)
+		}
+		if err := Spans.Start(spanFile); err != nil {
+			_ = spanFile.Close()
+			spanFile = nil
+			stop()
+			return nil, err
+		}
+	}
+	if f.ProfileDir != "" {
+		if err := os.MkdirAll(f.ProfileDir, 0o755); err != nil {
+			stop()
+			return nil, fmt.Errorf("obs: profile: %w", err)
+		}
+		var err error
+		cpuProfile, err = os.Create(filepath.Join(f.ProfileDir, "cpu.pprof"))
+		if err != nil {
+			stop()
+			return nil, fmt.Errorf("obs: profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuProfile); err != nil {
+			_ = cpuProfile.Close()
+			cpuProfile = nil
+			stop()
+			return nil, fmt.Errorf("obs: profile: %w", err)
 		}
 	}
 	if f.Endpoint != "" {
@@ -107,4 +190,21 @@ func (f *CLIFlags) Activate(errw io.Writer) (func(), error) {
 		}()
 	}
 	return stop, nil
+}
+
+// writeHeapProfile captures an up-to-date heap profile to path,
+// reporting failures to errw (profiling is best-effort at shutdown).
+func writeHeapProfile(path string, errw io.Writer) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(errw, "obs: profile: %v\n", err)
+		return
+	}
+	runtime.GC() // fold recently freed memory out of the profile
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(errw, "obs: profile: %v\n", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(errw, "obs: profile: %v\n", err)
+	}
 }

@@ -74,9 +74,10 @@ func runBinary(t *testing.T, bin string, args ...string) (stdout, stderr []byte)
 	return out.Bytes(), errb.Bytes()
 }
 
-// TestCLIInertness is the byte-identity check ISSUE 5 demands: the
-// same seed with and without the full observability stack (-obs,
-// -progress, -trace-out) must print the same bytes to stdout.
+// TestCLIInertness is the byte-identity check ISSUE 5 demands, extended
+// with the PR 10 surface: the same seed with and without the full
+// observability stack (-obs, -progress, -trace-out, -span-out,
+// -run-report, -profile-dir) must print the same bytes to stdout.
 func TestCLIInertness(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs binaries")
@@ -96,9 +97,14 @@ func TestCLIInertness(t *testing.T) {
 		t.Run(tc.bin, func(t *testing.T) {
 			bin := filepath.Join(bins, tc.bin)
 			plain, _ := runBinary(t, bin, tc.args...)
-			tracePath := filepath.Join(t.TempDir(), "run.trace")
+			dir := t.TempDir()
+			tracePath := filepath.Join(dir, "run.trace")
+			spanPath := filepath.Join(dir, "run.spans")
+			reportPath := filepath.Join(dir, "run.report.json")
+			profileDir := filepath.Join(dir, "profiles")
 			instrumented := append(append([]string(nil), tc.args...),
-				"-obs", "127.0.0.1:0", "-trace-out", tracePath, "-progress", "25ms")
+				"-obs", "127.0.0.1:0", "-trace-out", tracePath, "-progress", "25ms",
+				"-span-out", spanPath, "-run-report", reportPath, "-profile-dir", profileDir)
 			observed, stderrOut := runBinary(t, bin, instrumented...)
 			if !bytes.Equal(plain, observed) {
 				t.Fatalf("observability changed a fixed-seed run's stdout.\nplain:\n%s\nobserved:\n%s",
@@ -139,6 +145,50 @@ func TestCLIInertness(t *testing.T) {
 				}
 				if promotions == 0 {
 					t.Errorf("splitting run emitted no level_promotion events (%d events total)", len(evs))
+				}
+			}
+			// The PR 10 artifacts must all be well-formed: the span file
+			// through the strict span parser, the run report through its
+			// schema validator, and the profile dir must hold the pprof
+			// pair.
+			sf, err := os.Open(spanPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sf.Close()
+			recs, err := obs.ParseSpans(sf)
+			if err != nil {
+				t.Fatalf("span file does not parse: %v", err)
+			}
+			if len(recs) == 0 {
+				t.Error("instrumented run recorded no spans")
+			}
+			rf, err := os.Open(reportPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rf.Close()
+			rep, err := obs.ParseRunReport(rf)
+			if err != nil {
+				t.Fatalf("run report does not parse: %v", err)
+			}
+			if rep.Tool != tc.bin {
+				t.Errorf("run report tool = %q, want %q", rep.Tool, tc.bin)
+			}
+			if rep.EventsSimulated <= 0 {
+				t.Errorf("run report events_simulated = %d, want > 0", rep.EventsSimulated)
+			}
+			// The fingerprint must cover only the physics flags: the
+			// plain and instrumented invocations describe the same run.
+			if want := obs.FingerprintArgs(tc.args); rep.ConfigFingerprint != want {
+				t.Errorf("run report fingerprint %q differs from the plain invocation's %q",
+					rep.ConfigFingerprint, want)
+			}
+			for _, prof := range []string{"cpu.pprof", "heap.pprof"} {
+				if fi, err := os.Stat(filepath.Join(profileDir, prof)); err != nil {
+					t.Errorf("-profile-dir lacks %s: %v", prof, err)
+				} else if fi.Size() == 0 {
+					t.Errorf("%s is empty", prof)
 				}
 			}
 		})
@@ -199,6 +249,13 @@ func TestEndpointServes(t *testing.T) {
 			t.Fatalf("/metrics does not parse: %v\npage:\n%s", err, page)
 		}
 		if _, ok := prom.Types["burst_pdl_trials_total"]; ok {
+			// The throughput meter rides the same page: the strict
+			// parser must see it as a gauge next to its counter.
+			if kind, ok := prom.Types["burst_pdl_trials_per_sec"]; !ok {
+				t.Errorf("/metrics lacks the burst_pdl_trials_per_sec meter; types: %v", prom.Types)
+			} else if kind != "gauge" {
+				t.Errorf("burst_pdl_trials_per_sec exposed as %q, want gauge", kind)
+			}
 			break
 		}
 		if time.Now().After(deadline) {
@@ -217,9 +274,17 @@ func TestEndpointServes(t *testing.T) {
 	}
 
 	progPage := httpGet(t, "http://"+addr+"/progress")
-	var snaps []obs.TaskSnapshot
-	if err := json.Unmarshal(progPage, &snaps); err != nil {
+	var page obs.ProgressPage
+	if err := json.Unmarshal(progPage, &page); err != nil {
 		t.Fatalf("/progress does not decode: %v\npage:\n%s", err, progPage)
+	}
+	if len(page.Meters) == 0 {
+		t.Errorf("/progress reports no throughput meters\npage:\n%s", progPage)
+	}
+	for _, m := range page.Meters {
+		if m.Name == "burst_pdl_trials_per_sec" && m.Total <= 0 {
+			t.Errorf("trials meter total = %g, want > 0", m.Total)
+		}
 	}
 }
 

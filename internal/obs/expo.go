@@ -52,13 +52,23 @@ type HistogramPoint struct {
 	Over    int64     `json:"over"`    // observations above the last bound
 }
 
+// MeterPoint is a meter's snapshot in JSON form.
+type MeterPoint struct {
+	Total      float64 `json:"total"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	PeakPerSec float64 `json:"peak_per_sec"`
+}
+
 // Snapshot returns every metric as a name-sorted slice, the JSON form
 // served at /metrics.json.
 func (r *Registry) Snapshot() []MetricPoint {
 	metrics := r.copyMetrics()
 	points := make([]MetricPoint, 0, len(metrics))
 	for _, kv := range SortedSnapshot(metrics) {
-		pt := MetricPoint{Name: kv.Key, Kind: metricKind(kv.Value)}
+		// canonicalName routes the label values through the same escaper
+		// the text exposition uses, so /metrics and /metrics.json can
+		// never render one series under two spellings.
+		pt := MetricPoint{Name: canonicalName(kv.Key), Kind: metricKind(kv.Value)}
 		switch m := kv.Value.(type) {
 		case *Counter:
 			pt.Value = m.Value()
@@ -77,6 +87,8 @@ func (r *Registry) Snapshot() []MetricPoint {
 				hp.Q50, hp.Q90, hp.Q99 = fp(m.Quantile(0.5)), fp(m.Quantile(0.9)), fp(m.Quantile(0.99))
 			}
 			pt.Value = hp
+		case *Meter:
+			pt.Value = MeterPoint{Total: m.Total(), RatePerSec: m.Rate(), PeakPerSec: m.Peak()}
 		}
 		points = append(points, pt)
 	}
@@ -140,6 +152,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Sprintf("%s_sum%s %s", base, formatLabels(labels), formatFloat(m.Sum())))
 			lines[base] = append(lines[base],
 				fmt.Sprintf("%s_count%s %d", base, formatLabels(labels), n))
+		case *Meter:
+			// A meter's windowed rate is a gauge on the wire; Total and
+			// Peak ride only the JSON snapshot and /progress.
+			typed[base] = "gauge"
+			lines[base] = append(lines[base],
+				fmt.Sprintf("%s%s %s", base, formatLabels(labels), formatFloat(m.Rate())))
 		}
 	}
 	for _, kv := range SortedSnapshot(lines) {

@@ -12,7 +12,7 @@ import (
 //
 //	/metrics        Prometheus text exposition of reg
 //	/metrics.json   the same registry as a JSON snapshot
-//	/progress       active progress tasks, JSON
+//	/progress       active progress tasks + throughput meters, JSON
 //	/debug/pprof/*  the standard net/http/pprof pages
 func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
@@ -35,7 +35,7 @@ func Handler(reg *Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(Progress.Snapshots())
+		_ = enc.Encode(ProgressPage{Tasks: Progress.Snapshots(), Meters: reg.MeterSnapshots()})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -43,6 +43,13 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// ProgressPage is the JSON document served at /progress: the active
+// progress tasks plus every registered throughput meter's reading.
+type ProgressPage struct {
+	Tasks  []TaskSnapshot  `json:"tasks"`
+	Meters []MeterSnapshot `json:"meters,omitempty"`
 }
 
 // Server is a running observability endpoint.

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Windowed wall-clock throughput meters. A Meter turns an engine's
+// event counter increments into an events/sec (or bytes/sec) reading
+// without the engine ever reading the clock itself: the engine calls
+// Add from its hot loop, the meter timestamps the sample here, inside
+// obs, behind the sanctioned walltime-analyzer exemption.
+//
+// Like every other metric cell in this package the Meter is inert by
+// construction: Add is lock-free, allocation-free, and write-only, so
+// it can sit on a `//mlec:hot` event loop (hotalloc's transitive-hotness
+// sweep reaches it from syssim's RunContext) without perturbing the
+// simulation or serializing workers.
+
+// meterWindow is the trailing window Rate averages over, in seconds.
+const meterWindow = 10
+
+// meterBucket accumulates one wall-clock second of samples. sec is the
+// unix second the bucket currently represents (0 = never used); sum
+// holds the bucket total as float64 bits.
+type meterBucket struct {
+	sec atomic.Int64
+	sum atomic.Uint64
+}
+
+// Meter is a windowed throughput meter: a ring of per-second buckets
+// plus a running total and a high-water mark of the busiest completed
+// second. All state is atomic — concurrent Add from many worker
+// goroutines is the normal case.
+type Meter struct {
+	total    atomic.Uint64 // float64 bits: lifetime sum of Add values
+	peak     atomic.Uint64 // float64 bits: max sum of any retired one-second bucket
+	firstSec atomic.Int64  // unix second of the first Add; 0 = no samples yet
+	buckets  [meterWindow]meterBucket
+}
+
+// Add records v events (or bytes) as having happened now.
+func (m *Meter) Add(v float64) { m.addAt(time.Now().Unix(), v) }
+
+// addAt is Add with an explicit clock, the deterministic seam the unit
+// tests drive.
+func (m *Meter) addAt(sec int64, v float64) {
+	m.firstSec.CompareAndSwap(0, sec)
+	b := &m.buckets[uint64(sec)%meterWindow]
+	for {
+		cur := b.sec.Load()
+		if cur >= sec {
+			// Current second, or a sample from a goroutine whose clock
+			// read is a rotation behind: fold into the live bucket —
+			// off by at most one second, and never lost from total.
+			break
+		}
+		if b.sec.CompareAndSwap(cur, sec) {
+			// This Add retires the bucket's previous second: fold its
+			// sum into the peak high-water mark and start fresh.
+			old := math.Float64frombits(b.sum.Swap(0))
+			if cur != 0 {
+				m.foldPeak(old)
+			}
+			break
+		}
+	}
+	addFloatBits(&b.sum, v)
+	addFloatBits(&m.total, v)
+}
+
+// foldPeak raises the peak high-water mark to v if v exceeds it.
+func (m *Meter) foldPeak(v float64) {
+	for {
+		cur := m.peak.Load()
+		if v <= math.Float64frombits(cur) {
+			return
+		}
+		if m.peak.CompareAndSwap(cur, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// addFloatBits atomically adds v to a float64 stored as bits.
+func addFloatBits(cell *atomic.Uint64, v float64) {
+	for {
+		cur := cell.Load()
+		next := math.Float64bits(math.Float64frombits(cur) + v)
+		if cell.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// Total returns the lifetime sum of everything Added.
+func (m *Meter) Total() float64 { return math.Float64frombits(m.total.Load()) }
+
+// Rate returns the per-second rate averaged over the trailing window
+// (shortened to the meter's actual lifetime while it is younger than
+// the window). Zero before the first sample.
+func (m *Meter) Rate() float64 { return m.rateAt(time.Now().Unix()) }
+
+func (m *Meter) rateAt(now int64) float64 {
+	first := m.firstSec.Load()
+	if first == 0 {
+		return 0
+	}
+	lo := now - meterWindow + 1
+	var sum float64
+	for i := range m.buckets {
+		sec := m.buckets[i].sec.Load()
+		if sec >= lo && sec <= now {
+			sum += math.Float64frombits(m.buckets[i].sum.Load())
+		}
+	}
+	window := float64(meterWindow)
+	if lifetime := float64(now-first) + 1; lifetime < window {
+		window = lifetime
+	}
+	if window < 1 {
+		window = 1
+	}
+	return sum / window
+}
+
+// Peak returns the largest one-second tally the meter has seen: the
+// max over retired buckets, and over live buckets still accumulating
+// (a partial second's tally is a lower bound on what that second will
+// total, so including it only ever under-reports the true peak).
+func (m *Meter) Peak() float64 {
+	p := math.Float64frombits(m.peak.Load())
+	for i := range m.buckets {
+		if m.buckets[i].sec.Load() == 0 {
+			continue
+		}
+		if s := math.Float64frombits(m.buckets[i].sum.Load()); s > p {
+			p = s
+		}
+	}
+	return p
+}
+
+// MeterSnapshot is a meter's point-in-time reading, the JSON form used
+// by /progress and embedded in run reports.
+type MeterSnapshot struct {
+	Name       string  `json:"name"`
+	Total      float64 `json:"total"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	PeakPerSec float64 `json:"peak_per_sec"`
+}
+
+// MeterSnapshots returns every registered meter's reading, sorted by
+// canonical name.
+func (r *Registry) MeterSnapshots() []MeterSnapshot {
+	var out []MeterSnapshot
+	for _, kv := range SortedSnapshot(r.copyMetrics()) {
+		if m, ok := kv.Value.(*Meter); ok {
+			out = append(out, MeterSnapshot{
+				Name:       canonicalName(kv.Key),
+				Total:      m.Total(),
+				RatePerSec: m.Rate(),
+				PeakPerSec: m.Peak(),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMeterWindowedRate(t *testing.T) {
+	var m Meter
+	base := int64(1_000_000)
+	// 100 events/sec for 5 seconds.
+	for s := int64(0); s < 5; s++ {
+		m.addAt(base+s, 100)
+	}
+	if got := m.Total(); got != 500 {
+		t.Fatalf("Total = %g, want 500", got)
+	}
+	// Lifetime (5s) is shorter than the window: rate averages over it.
+	if got := m.rateAt(base + 4); got != 100 {
+		t.Fatalf("rate over 5s lifetime = %g, want 100", got)
+	}
+	// Fill the rest of the window, then go idle: samples age out.
+	for s := int64(5); s < meterWindow; s++ {
+		m.addAt(base+s, 100)
+	}
+	if got := m.rateAt(base + meterWindow - 1); got != 100 {
+		t.Fatalf("rate over full window = %g, want 100", got)
+	}
+	if got := m.rateAt(base + 2*meterWindow); got != 0 {
+		t.Fatalf("rate after idle window = %g, want 0 (stale buckets must age out)", got)
+	}
+}
+
+func TestMeterPeak(t *testing.T) {
+	var m Meter
+	base := int64(2_000_000)
+	m.addAt(base, 10)
+	m.addAt(base+1, 400) // the busy second
+	m.addAt(base+1, 100)
+	m.addAt(base+2, 50)
+	// All three buckets are still live; peak scans them directly.
+	if got := m.Peak(); got != 500 {
+		t.Fatalf("live peak = %g, want 500", got)
+	}
+	// Rotate the busy second's bucket out (same ring slot, window later)
+	// and confirm the peak survived the retirement fold.
+	m.addAt(base+1+meterWindow, 1)
+	if got := m.Peak(); got != 500 {
+		t.Fatalf("peak after rotation = %g, want 500", got)
+	}
+	if got := m.Total(); got != 561 {
+		t.Fatalf("Total = %g, want 561", got)
+	}
+}
+
+func TestMeterZero(t *testing.T) {
+	var m Meter
+	if m.Rate() != 0 || m.Peak() != 0 || m.Total() != 0 {
+		t.Fatalf("zero meter reads %g/%g/%g, want 0/0/0", m.Rate(), m.Peak(), m.Total())
+	}
+}
+
+// TestMeterConcurrentWriters hammers one meter from many goroutines
+// across a rotating second boundary — the -race proof (obs is in
+// RACE_PKGS) that Add is safe from every worker at once, and that no
+// sample is lost from the lifetime total.
+func TestMeterConcurrentWriters(t *testing.T) {
+	var m Meter
+	const (
+		workers = 8
+		perSec  = 1000
+		seconds = 4
+	)
+	base := int64(3_000_000)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := int64(0); s < seconds; s++ {
+				for i := 0; i < perSec; i++ {
+					m.addAt(base+s, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := float64(workers * perSec * seconds)
+	if got := m.Total(); got != want {
+		t.Fatalf("Total = %g, want %g (samples lost under contention)", got, want)
+	}
+	if got := m.rateAt(base + seconds - 1); got != want/seconds {
+		t.Fatalf("rate = %g, want %g", got, want/seconds)
+	}
+	if got := m.Peak(); got < want/seconds {
+		t.Fatalf("peak = %g, want >= %g", got, want/seconds)
+	}
+}
+
+// TestMeterAddAllocFree pins the hot-path contract hotalloc enforces
+// transitively: engines call Add from `//mlec:hot` event loops.
+func TestMeterAddAllocFree(t *testing.T) {
+	var m Meter
+	allocs := testing.AllocsPerRun(1000, func() { m.Add(1) })
+	if allocs != 0 {
+		t.Fatalf("Meter.Add allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestMeterExpositions(t *testing.T) {
+	r := NewRegistry()
+	m := r.Meter("syssim_events_per_sec")
+	// The expositions read Rate() against the real clock, so the sample
+	// must land in the live window.
+	base := time.Now().Unix()
+	m.addAt(base, 250)
+
+	// Text: the windowed rate rides the wire as a gauge and the page
+	// stays parseable by the strict parser.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("meter page does not parse: %v\npage:\n%s", err, buf.String())
+	}
+	if p.Types["syssim_events_per_sec"] != "gauge" {
+		t.Fatalf("meter TYPE = %q, want gauge", p.Types["syssim_events_per_sec"])
+	}
+	if v, ok := p.Sample("syssim_events_per_sec"); !ok || v <= 0 {
+		t.Fatalf("meter sample = %v %v, want positive rate", v, ok)
+	}
+
+	// JSON: a MeterPoint with total/rate/peak.
+	pts := r.Snapshot()
+	if len(pts) != 1 || pts[0].Kind != "meter" {
+		t.Fatalf("snapshot = %+v, want one meter point", pts)
+	}
+	mp, ok := pts[0].Value.(MeterPoint)
+	if !ok {
+		t.Fatalf("meter point is %T", pts[0].Value)
+	}
+	if mp.Total != 250 || mp.PeakPerSec != 250 {
+		t.Fatalf("meter point %+v, want total=250 peak=250", mp)
+	}
+
+	// /progress page: MeterSnapshots carries the canonical name.
+	snaps := r.MeterSnapshots()
+	if len(snaps) != 1 || snaps[0].Name != "syssim_events_per_sec" || snaps[0].Total != 250 {
+		t.Fatalf("MeterSnapshots = %+v", snaps)
+	}
+
+	// Render: the rates line appears after task lines.
+	var out strings.Builder
+	(&Tracker{}).Render(&out, r)
+	if !strings.Contains(out.String(), "rates syssim_events_per_sec") {
+		t.Fatalf("Render output %q lacks meter rates line", out.String())
+	}
+}

@@ -50,7 +50,7 @@ import (
 type Registry struct {
 	mu sync.Mutex
 	//mlec:guardedby mu
-	metrics map[string]any // *Counter | *FloatCounter | *Gauge | *FloatGauge | *Histogram
+	metrics map[string]any // *Counter | *FloatCounter | *Gauge | *FloatGauge | *Histogram | *Meter
 }
 
 // Default is the process-wide registry every engine instruments. CLI
@@ -94,6 +94,8 @@ func metricKind(m any) string {
 		return "floatgauge"
 	case *Histogram:
 		return "histogram"
+	case *Meter:
+		return "meter"
 	}
 	return fmt.Sprintf("%T", m)
 }
@@ -127,6 +129,13 @@ func (r *Registry) FloatGauge(name string) *FloatGauge {
 // histogram regardless of the bounds argument.
 func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	return r.lookup(name, "histogram", func() any { return newHistogram(bounds) }).(*Histogram)
+}
+
+// Meter returns the throughput meter registered under name. By
+// convention meter names end in `_per_sec`; the text exposition renders
+// the windowed rate as a gauge under that name.
+func (r *Registry) Meter(name string) *Meter {
+	return r.lookup(name, "meter", func() any { return &Meter{} }).(*Meter)
 }
 
 // CounterValues snapshots every integer counter, keyed by full metric

@@ -171,6 +171,15 @@ func (t *Tracker) Snapshots() []TaskSnapshot {
 // feed the same report.
 func (t *Tracker) Render(w io.Writer, reg *Registry) {
 	snaps := t.Snapshots()
+	defer func() {
+		if meters := reg.MeterSnapshots(); len(meters) > 0 {
+			line := "progress: rates"
+			for _, m := range meters {
+				line += fmt.Sprintf(" %s %s/s", m.Name, formatShort(m.RatePerSec))
+			}
+			fmt.Fprintln(w, line)
+		}
+	}()
 	if len(snaps) == 0 {
 		fmt.Fprintf(w, "progress: idle (workers live %d)\n", reg.Gauge("runctl_pool_workers_live").Value())
 		return

@@ -78,11 +78,18 @@ func ParsePrometheus(rd io.Reader) (*PromText, error) {
 }
 
 // parsePromSample splits a sample line into its series and value. The
-// series may contain spaces only inside the label block.
+// series may contain spaces, commas, quotes and escaped specials inside
+// the label block; the end of the block is found with the same
+// quote-aware scanner splitName uses, so anything formatLabels emits is
+// cut at the right brace.
 func parsePromSample(line string) (string, float64, error) {
 	cut := len(line)
-	if i := strings.IndexByte(line, '}'); i >= 0 {
-		cut = i + 1
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		_, rest, ok := scanLabelBlock(line[i:])
+		if !ok {
+			return "", 0, fmt.Errorf("sample %q: malformed label block", line)
+		}
+		cut = len(line) - len(rest)
 	} else if i := strings.IndexByte(line, ' '); i >= 0 {
 		cut = i
 	}

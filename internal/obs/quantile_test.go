@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// Quantile interpolation at the clamp boundaries: q outside [0,1], the
+// empty histogram, a single populated bucket, and the overflow bucket.
+// The contract under test: estimates never escape [Min, Max], q=0 lands
+// on Min, q=1 on Max, and the empty histogram reports NaN rather than
+// inventing a number.
+func TestHistogramQuantileClamps(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := newHistogram([]float64{1, 10})
+		for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+			if v := h.Quantile(q); !math.IsNaN(v) {
+				t.Errorf("empty histogram Quantile(%g) = %g, want NaN", q, v)
+			}
+		}
+	})
+
+	t.Run("q clamps to [0,1]", func(t *testing.T) {
+		h := newHistogram([]float64{10, 20, 30})
+		h.Observe(5)
+		h.Observe(15)
+		h.Observe(25)
+		if v := h.Quantile(-3); v != h.Quantile(0) {
+			t.Errorf("Quantile(-3) = %g, Quantile(0) = %g; q<0 must clamp to 0", v, h.Quantile(0))
+		}
+		if v := h.Quantile(7); v != h.Quantile(1) {
+			t.Errorf("Quantile(7) = %g, Quantile(1) = %g; q>1 must clamp to 1", v, h.Quantile(1))
+		}
+		if v := h.Quantile(0); v != h.Min() {
+			t.Errorf("Quantile(0) = %g, want Min %g", v, h.Min())
+		}
+		if v := h.Quantile(1); v != h.Max() {
+			t.Errorf("Quantile(1) = %g, want Max %g", v, h.Max())
+		}
+	})
+
+	t.Run("single bucket interpolates between Min and Max", func(t *testing.T) {
+		h := newHistogram([]float64{100})
+		h.Observe(10)
+		h.Observe(30)
+		// Both observations share the one bucket, so lo/hi clamp to the
+		// observed Min/Max, not the bucket bounds [0, 100].
+		if v := h.Quantile(0.5); v != 20 {
+			t.Errorf("Quantile(0.5) = %g, want 20 (midpoint of observed [10,30])", v)
+		}
+		for _, q := range []float64{0, 0.25, 0.75, 1} {
+			v := h.Quantile(q)
+			if v < 10 || v > 30 {
+				t.Errorf("Quantile(%g) = %g escapes observed range [10,30]", q, v)
+			}
+		}
+	})
+
+	t.Run("single observation", func(t *testing.T) {
+		h := newHistogram([]float64{1, 10})
+		h.Observe(5)
+		for _, q := range []float64{0, 0.5, 1} {
+			if v := h.Quantile(q); v != 5 {
+				t.Errorf("Quantile(%g) = %g, want 5 (the only observation)", q, v)
+			}
+		}
+	})
+
+	t.Run("overflow bucket reports Max", func(t *testing.T) {
+		h := newHistogram([]float64{1})
+		h.Observe(0.5)
+		h.Observe(1e6) // overflow
+		if v := h.Quantile(1); v != 1e6 {
+			t.Errorf("Quantile(1) = %g, want observed max 1e6, not an invented bound", v)
+		}
+		if v := h.Quantile(0.99); v != 1e6 {
+			t.Errorf("Quantile(0.99) in overflow = %g, want Max", v)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFingerprintIgnoresObsFlags(t *testing.T) {
+	campaign := []string{"-seed", "42", "-pools", "16", "-hours", "1000"}
+	base := FingerprintArgs(campaign)
+	if base == "" || len(base) != 16 {
+		t.Fatalf("fingerprint = %q, want 16 hex chars", base)
+	}
+	instrumented := [][]string{
+		append(append([]string{}, campaign...), "-obs", "127.0.0.1:0"),
+		append(append([]string{}, campaign...), "-trace-out", "/tmp/t.jsonl", "-span-out", "/tmp/s.jsonl"),
+		append(append([]string{}, campaign...), "-run-report=/tmp/r.json", "-profile-dir=/tmp/prof"),
+		append([]string{"-progress", "25ms"}, campaign...),
+		append([]string{"--obs=127.0.0.1:0"}, campaign...),
+	}
+	for _, args := range instrumented {
+		if got := FingerprintArgs(args); got != base {
+			t.Errorf("args %v fingerprint %s, want %s (obs flags must not steer identity)", args, got, base)
+		}
+	}
+	// Campaign-defining flags DO change the fingerprint.
+	if got := FingerprintArgs([]string{"-seed", "43", "-pools", "16", "-hours", "1000"}); got == base {
+		t.Error("different seed produced identical fingerprint")
+	}
+}
+
+func TestBuildRunReport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("syssim_events_total").Add(1000)
+	r.Counter("burst_pdl_trials_total").Add(500)
+	r.Counter("runctl_checkpoint_saves_total").Add(3)
+	r.Counter("runctl_stream_retries_total").Add(2)
+	ev := r.Meter("syssim_events_per_sec")
+	ev.addAt(5_000_000, 900)
+	by := r.Meter("syssim_repair_bytes_per_sec")
+	by.addAt(5_000_000, 1e9) // byte meters must not feed the event peak
+
+	args := []string{"-seed", "7", "-run-report", "/tmp/r.json"}
+	rep := BuildRunReport("mlecdur", args, 7, 1500*time.Millisecond, r)
+	if rep.Schema != RunReportSchema || rep.Tool != "mlecdur" || rep.Seed != 7 {
+		t.Fatalf("report identity %+v", rep)
+	}
+	if rep.ConfigFingerprint != FingerprintArgs(args) {
+		t.Fatal("fingerprint mismatch")
+	}
+	if rep.WallSeconds != 1.5 {
+		t.Fatalf("WallSeconds = %g", rep.WallSeconds)
+	}
+	if rep.EventsSimulated != 1500 {
+		t.Fatalf("EventsSimulated = %d, want 1500 (sum of engine event counters)", rep.EventsSimulated)
+	}
+	if rep.PeakEventsPerSec != 900 {
+		t.Fatalf("PeakEventsPerSec = %g, want 900 (bytes meters excluded)", rep.PeakEventsPerSec)
+	}
+	if rep.CheckpointSaves != 3 || rep.StreamRetries != 2 {
+		t.Fatalf("counter pulls %+v", rep)
+	}
+	if rep.PeakHeapBytes == 0 || rep.GoVersion == "" {
+		t.Fatalf("runtime fields missing: %+v", rep)
+	}
+	if len(rep.Meters) != 2 {
+		t.Fatalf("Meters = %+v, want both meters embedded", rep.Meters)
+	}
+}
+
+func TestRunReportRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("syssim_events_total").Add(10)
+	rep := BuildRunReport("mlecburst", []string{"-seed", "1"}, 1, time.Second, r)
+	path := t.TempDir() + "/RUNREPORT.json"
+	if err := WriteRunReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRunReport(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("own report does not parse: %v", err)
+	}
+	if got.Tool != rep.Tool || got.EventsSimulated != rep.EventsSimulated ||
+		got.ConfigFingerprint != rep.ConfigFingerprint {
+		t.Fatalf("round trip lost fields: %+v vs %+v", got, rep)
+	}
+}
+
+func TestParseRunReportRejects(t *testing.T) {
+	cases := map[string]string{
+		"wrong schema":  `{"schema":"mlec-run-report/v0","tool":"x","args":[],"config_fingerprint":"a","seed":1,"go_version":"go","goos":"linux","goarch":"amd64","wall_seconds":1,"events_simulated":0,"peak_events_per_sec":0,"peak_heap_bytes":1,"total_alloc_bytes":1,"num_gc":0,"checkpoint_saves":0,"checkpoint_loads":0,"stream_retries":0,"stream_heals":0,"counters":{}}`,
+		"missing tool":  `{"schema":"mlec-run-report/v1","tool":"","args":[],"config_fingerprint":"a","seed":1,"go_version":"go","goos":"linux","goarch":"amd64","wall_seconds":1,"events_simulated":0,"peak_events_per_sec":0,"peak_heap_bytes":1,"total_alloc_bytes":1,"num_gc":0,"checkpoint_saves":0,"checkpoint_loads":0,"stream_retries":0,"stream_heals":0,"counters":{}}`,
+		"unknown field": `{"schema":"mlec-run-report/v1","tool":"x","bogus":1}`,
+		"not json":      `banana`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseRunReport(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: parser accepted %q", name, doc)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// resetSpans points the package recorder at a fresh buffer and returns
+// it; the cleanup stops the recorder so tests stay independent.
+func resetSpans(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Spans.Start(&buf); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = Spans.Stop() })
+	return &buf
+}
+
+func TestSpanDisabledIsNil(t *testing.T) {
+	if Spans.Enabled() {
+		t.Fatal("recorder enabled at test start")
+	}
+	s := StartSpan("campaign")
+	if s != nil {
+		t.Fatalf("StartSpan with recorder off = %v, want nil", s)
+	}
+	// The whole nil API must be callable without panicking or writing.
+	c := s.Child("level")
+	c.End()
+	s.EndNote("done")
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := StartSpan("x")
+		sp.Child("y").End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSpanRecordRoundTrip(t *testing.T) {
+	buf := resetSpans(t)
+	root := StartSpan("campaign")
+	child := root.Child("level")
+	grand := child.Child("stream")
+	grand.End()
+	child.EndNote("level 3")
+	root.End()
+	if err := Spans.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("own output does not parse: %v\nfile:\n%s", err, buf.String())
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d spans, want 3", len(recs))
+	}
+	// Records land in End order: stream, level, campaign.
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	rootRec, childRec, grandRec := byName["campaign"], byName["level"], byName["stream"]
+	if rootRec.Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", rootRec.Parent)
+	}
+	if childRec.Parent != rootRec.ID || grandRec.Parent != childRec.ID {
+		t.Fatalf("parent chain broken: %+v", recs)
+	}
+	if childRec.Note != "level 3" {
+		t.Fatalf("note = %q", childRec.Note)
+	}
+	for _, r := range recs {
+		if r.Dur() < 0 {
+			t.Fatalf("span %s has negative duration", r.Name)
+		}
+	}
+	// Parents begin no later than children and end no earlier.
+	if childRec.BeginMS < rootRec.BeginMS || childRec.EndMS > rootRec.EndMS {
+		t.Fatalf("child [%g,%g] escapes root [%g,%g]",
+			childRec.BeginMS, childRec.EndMS, rootRec.BeginMS, rootRec.EndMS)
+	}
+}
+
+// TestSpanChildOfNilIsRoot covers the helper contract: a child of a nil
+// span (parent site not instrumented, or recorder was off when the
+// parent would have started) becomes a root span.
+func TestSpanChildOfNilIsRoot(t *testing.T) {
+	buf := resetSpans(t)
+	var parent *Span
+	c := parent.Child("orphan")
+	c.End()
+	if err := Spans.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Parent != 0 || recs[0].Name != "orphan" {
+		t.Fatalf("got %+v, want one root span named orphan", recs)
+	}
+}
+
+func TestSpanConcurrentEnd(t *testing.T) {
+	buf := resetSpans(t)
+	root := StartSpan("pool")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := root.Child("stream")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if err := Spans.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("concurrent spans do not parse: %v", err)
+	}
+	if len(recs) != 17 {
+		t.Fatalf("got %d spans, want 17", len(recs))
+	}
+}
+
+func TestParseSpansRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "banana\n",
+		"zero id":         `{"id":0,"name":"x","begin_ms":0,"end_ms":1}` + "\n",
+		"duplicate id":    `{"id":1,"name":"x","begin_ms":0,"end_ms":1}` + "\n" + `{"id":1,"name":"y","begin_ms":0,"end_ms":1}` + "\n",
+		"self parent":     `{"id":1,"parent":1,"name":"x","begin_ms":0,"end_ms":1}` + "\n",
+		"forward parent":  `{"id":1,"parent":2,"name":"x","begin_ms":0,"end_ms":1}` + "\n",
+		"missing name":    `{"id":1,"begin_ms":0,"end_ms":1}` + "\n",
+		"ends before beg": `{"id":1,"name":"x","begin_ms":5,"end_ms":1}` + "\n",
+	}
+	for name, file := range cases {
+		if _, err := ParseSpans(strings.NewReader(file)); err == nil {
+			t.Errorf("%s: parser accepted %q", name, file)
+		}
+	}
+	ok := `{"id":1,"name":"a","begin_ms":0,"end_ms":2}` + "\n\n" + `{"id":2,"parent":1,"name":"b","begin_ms":1,"end_ms":2}` + "\n"
+	if _, err := ParseSpans(strings.NewReader(ok)); err != nil {
+		t.Errorf("valid file rejected: %v", err)
+	}
+}

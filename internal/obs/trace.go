@@ -31,6 +31,35 @@ const (
 	EvStall              = "stall"               // the watchdog saw live workers make no progress
 )
 
+// eventKindDescriptions is the single source of truth for the kinds
+// the tree emits: ParseTraceEvents validates against it, and
+// `mlectrace events` renders its summaries from it. Adding an Ev*
+// constant without a row here makes every trace containing it
+// unparseable, which is how the set stays in sync.
+var eventKindDescriptions = map[string]string{
+	EvFailure:            "disk failed",
+	EvRepairStart:        "repair began",
+	EvRepairEnd:          "repair completed",
+	EvPoolCat:            "pool went catastrophic",
+	EvPoolHeal:           "pool fully re-protected",
+	EvCheckpoint:         "checkpoint saved",
+	EvLevelPromotion:     "splitting run advanced one level",
+	EvFaultInjected:      "chaos harness fired a rule",
+	EvStreamRetry:        "failed worker stream re-run",
+	EvCheckpointFallback: "corrupt checkpoint fell back a generation",
+	EvStall:              "watchdog saw live workers make no progress",
+}
+
+// KnownEventKinds returns every event kind the tree emits with its
+// one-line description, keyed by kind.
+func KnownEventKinds() map[string]string {
+	out := make(map[string]string, len(eventKindDescriptions))
+	for k, v := range eventKindDescriptions {
+		out[k] = v
+	}
+	return out
+}
+
 // TraceEvent is one JSONL record of a simulated-time trace. Unused
 // fields stay at their zero values and are omitted from the encoding;
 // Seq is a process-wide sequence number assigned at emission so
@@ -163,11 +192,7 @@ func ParseTraceEvents(rd io.Reader) ([]TraceEvent, error) {
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
 			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
 		}
-		switch ev.Kind {
-		case EvFailure, EvRepairStart, EvRepairEnd, EvPoolCat, EvPoolHeal,
-			EvCheckpoint, EvLevelPromotion,
-			EvFaultInjected, EvStreamRetry, EvCheckpointFallback, EvStall:
-		default:
+		if _, known := eventKindDescriptions[ev.Kind]; !known {
 			return nil, fmt.Errorf("trace: line %d: unknown event kind %q", lineNo, ev.Kind)
 		}
 		if ev.Seq <= lastSeq {

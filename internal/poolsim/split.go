@@ -199,11 +199,19 @@ func SplitContext(ctx context.Context, cfg Config, ttf failure.Exponential, sc S
 	defer task.Finish()
 	task.SetDone(int64(startLevel-1) * int64(n))
 	trialCount := obs.Default.Counter("poolsim_split_trajectories_total")
+	trajMeter := obs.Default.Meter("poolsim_split_trajectories_per_sec")
 	levelGauge := obs.Default.Gauge("poolsim_split_level")
 	occGauge := obs.Default.FloatGauge("poolsim_split_entry_occupancy")
 	ciwGauge := obs.Default.FloatGauge("poolsim_split_ci_width")
 	levelWall := obs.Default.Histogram("poolsim_split_level_wall_seconds",
 		0.1, 0.5, 1, 5, 15, 60, 300, 1800)
+	campSpan := obs.StartSpan("poolsim.split")
+	lastLevel := startLevel - 1
+	defer func() {
+		if campSpan != nil {
+			campSpan.EndNote(fmt.Sprintf("levels %d..%d seed %d", startLevel, lastLevel, sc.Seed))
+		}
+	}()
 
 	for level := startLevel; level <= maxLevel && len(entries) > 0; level++ {
 		if ctx.Err() != nil {
@@ -212,6 +220,7 @@ func SplitContext(ctx context.Context, cfg Config, ttf failure.Exponential, sc S
 		}
 		levelGauge.Set(int64(level))
 		task.SetLevel(level, maxLevel)
+		levelSpan := campSpan.Child("poolsim.level")
 		levelBegan := time.Now()
 		// Trajectories are independent given the entry set; run them on
 		// all CPUs through the runctl pool so a panicking trajectory
@@ -227,6 +236,8 @@ func SplitContext(ctx context.Context, cfg Config, ttf failure.Exponential, sc S
 		}
 		slots := make([]slot, n)
 		pool := runctl.NewPool(ctx)
+		//lint:allow walltime the span is an opaque obs handle the pool only hands back to obs for stream children; no wall-clock value reaches the simulation
+		pool.SetParentSpan(levelSpan)
 		workers := runtime.NumCPU()
 		if workers > n {
 			workers = n
@@ -266,6 +277,7 @@ func SplitContext(ctx context.Context, cfg Config, ttf failure.Exponential, sc S
 					}
 					slots[i] = out
 					trialCount.Inc()
+					trajMeter.Add(1)
 					task.Add(1)
 				}
 				return nil
@@ -277,6 +289,9 @@ func SplitContext(ctx context.Context, cfg Config, ttf failure.Exponential, sc S
 		if ctx.Err() != nil {
 			// The level is incomplete; discard it so the tallies stay a
 			// pure function of (seed, level) and resume replays it.
+			if levelSpan != nil {
+				levelSpan.EndNote(fmt.Sprintf("level %d cancelled", level))
+			}
 			res.Partial = true
 			break
 		}
@@ -345,6 +360,10 @@ func SplitContext(ctx context.Context, cfg Config, ttf failure.Exponential, sc S
 		}
 		if sc.onLevelDone != nil {
 			sc.onLevelDone(level)
+		}
+		lastLevel = level
+		if levelSpan != nil {
+			levelSpan.EndNote(fmt.Sprintf("level %d up=%d cat=%d entries=%d", level, ups, cats, len(nextEntries)))
 		}
 	}
 

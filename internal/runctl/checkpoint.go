@@ -82,6 +82,12 @@ type checkpointEnvelope struct {
 // Transient write failures are retried with capped backoff (a fresh
 // temp file per attempt) before the error is returned.
 func SaveCheckpoint(path, kind, fingerprint string, payload any) error {
+	span := obs.StartSpan("runctl.checkpoint.save")
+	defer func() {
+		if span != nil {
+			span.EndNote(kind)
+		}
+	}()
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("runctl: encoding %s checkpoint: %w", kind, err)
@@ -213,6 +219,12 @@ func loadEnvelope(path string, generation int) (*checkpointEnvelope, error) {
 // and the older generation — written by the same campaign, so equally
 // mismatched — is not consulted.
 func LoadCheckpoint(path, kind, fingerprint string, payload any) (bool, error) {
+	span := obs.StartSpan("runctl.checkpoint.load")
+	defer func() {
+		if span != nil {
+			span.EndNote(kind)
+		}
+	}()
 	var firstErr error
 	for generation, p := range []string{path, PrevCheckpointPath(path)} {
 		env, err := loadEnvelope(p, generation)

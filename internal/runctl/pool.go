@@ -43,6 +43,10 @@ type Pool struct {
 	mu sync.Mutex
 	//mlec:guardedby mu
 	first error
+
+	// parentSpan, when set, parents each worker stream's wall-clock
+	// span; set once before the first Go, read only at worker launch.
+	parentSpan *obs.Span
 }
 
 // NewPool returns a pool whose workers observe ctx and re-run failed
@@ -67,6 +71,11 @@ func (p *Pool) SetAttempts(n int) {
 	p.attempts = n
 }
 
+// SetParentSpan parents the wall-clock span each worker stream records
+// under span (nil reverts to root spans). Call before Go — worker
+// launches read it without synchronization.
+func (p *Pool) SetParentSpan(span *obs.Span) { p.parentSpan = span }
+
 // Go launches fn as a pool worker. A panic in fn is recovered into a
 // *PanicError carrying stream (use the worker's base RNG stream id; for
 // per-trial precision wrap individual trials in Guard inside fn). A
@@ -78,13 +87,23 @@ func (p *Pool) Go(stream int64, fn func(ctx context.Context) error) {
 	p.wg.Add(1)
 	obs.Default.Counter("runctl_pool_workers_started_total").Inc()
 	live.Add(1)
+	span := p.parentSpan.Child("runctl.stream")
 	go func() {
 		defer func() {
 			live.Add(-1)
 			p.wg.Done()
 		}()
 		var last error
+		attempts := 0
+		defer func() {
+			// The note is only built when a recorder is actually on —
+			// disabled runs must not pay the format allocation.
+			if span != nil {
+				span.EndNote(fmt.Sprintf("stream %d attempts %d", stream, attempts))
+			}
+		}()
 		for attempt := 1; ; attempt++ {
+			attempts = attempt
 			var ferr error
 			gerr := Guard(stream, func() { ferr = fn(p.ctx) })
 			Beat()

@@ -111,6 +111,8 @@ type System struct {
 	catGauge   *obs.Gauge
 	depthGauge *obs.Gauge
 	xrackC     *obs.FloatCounter
+	eventsM    *obs.Meter
+	xrackM     *obs.Meter
 }
 
 // New builds the simulator.
@@ -156,6 +158,8 @@ func New(cfg Config) (*System, error) {
 		depthGauge: obs.Default.Gauge("syssim_event_queue_depth"),
 		xrackC: obs.Default.FloatCounter(fmt.Sprintf(
 			"syssim_cross_rack_repair_bytes_total{method=%q}", cfg.Method)),
+		eventsM: obs.Default.Meter("syssim_events_per_sec"),
+		xrackM:  obs.Default.Meter("syssim_cross_rack_repair_bytes_per_sec"),
 	}
 	n := l.TotalLocalPools()
 	s.pools = make([]*poolsim.Pool, n)
@@ -303,6 +307,12 @@ func RunContext(ctx context.Context, cfg Config, years float64, seed int64) (Sta
 	horizon := years * failure.HoursPerYear
 	task := obs.Progress.StartTask("syssim.run", 0)
 	defer task.Finish()
+	span := obs.StartSpan("syssim.run")
+	defer func() {
+		if span != nil {
+			span.EndNote(fmt.Sprintf("years %g seed %d", years, seed))
+		}
+	}()
 	const pollEvery = 1024
 	//mlec:hot datacenter event loop; every simulated failure and repair drains through here
 	for i := 0; ; i++ {
@@ -335,6 +345,7 @@ func RunContext(ctx context.Context, cfg Config, years float64, seed int64) (Sta
 		}
 		s.eng.Step()
 		s.eventsC.Inc()
+		s.eventsM.Add(1)
 		task.Add(1)
 	}
 	s.eng.RunUntil(horizon) // advance the clock; no events fire
@@ -516,6 +527,7 @@ func (s *System) completeNetworkRepair(pool int) {
 	traffic := volume * float64(s.cfg.Params.KN+1)
 	s.stats.CrossRackRepairBytes += traffic
 	s.xrackC.Add(traffic)
+	s.xrackM.Add(traffic)
 	obs.Trace.Emit(obs.TraceEvent{T: s.eng.Now(), Kind: obs.EvRepairEnd,
 		Pool: pool, Method: s.cfg.Method.String(), Bytes: traffic})
 
